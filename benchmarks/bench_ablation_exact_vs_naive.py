@@ -1,0 +1,60 @@
+"""Ablation — exact accumulation (EMAC) vs rounding after every MAC.
+
+The EMAC's whole reason to exist (paper Section III-A): deferring rounding
+to a single post-summation step minimizes local error.  This bench deploys
+the same quantized network twice — once through the exact engine, once
+through a round-every-MAC recurrence — and reports the accuracy gap across
+widths on the iris task.
+"""
+
+import pytest
+
+from repro.analysis import naive_accuracy
+from repro.core import PositronNetwork
+from repro.posit.format import standard_format
+
+WIDTHS = [(5, 0), (6, 0), (7, 0), (8, 0)]
+
+
+@pytest.fixture(scope="module")
+def networks(iris_model):
+    weights, biases = iris_model.model.export_params()
+    return {
+        (n, es): PositronNetwork.from_float_params(
+            standard_format(n, es), weights, biases
+        )
+        for n, es in WIDTHS
+    }
+
+
+@pytest.mark.benchmark(group="ablation-exact")
+def test_exact_vs_naive_accuracy(benchmark, write_result, iris_model, networks):
+    ds = iris_model.dataset
+
+    def run():
+        rows = []
+        for (n, es), net in networks.items():
+            exact = net.accuracy(ds.test_x, ds.test_y)
+            naive = naive_accuracy(net, ds.test_x, ds.test_y)
+            rows.append((n, es, exact, naive))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: exact EMAC vs round-every-MAC (iris, posit)",
+        f"{'format':<12} {'exact':>8} {'naive':>8} {'delta pp':>9}",
+    ]
+    worse = 0
+    for n, es, exact, naive in rows:
+        lines.append(
+            f"posit<{n},{es}>   {100 * exact:>7.2f}% {100 * naive:>7.2f}% "
+            f"{100 * (exact - naive):>8.2f}"
+        )
+        if naive < exact - 1e-9:
+            worse += 1
+    write_result("ablation_exact_vs_naive.txt", "\n".join(lines))
+    # Naive rounding must never *beat* the exact EMAC meaningfully, and it
+    # must hurt somewhere in the sweep.
+    for _, __, exact, naive in rows:
+        assert naive <= exact + 0.041
+    assert worse >= 1, "round-every-MAC never hurt; ablation uninformative"

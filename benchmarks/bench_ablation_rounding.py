@@ -1,0 +1,45 @@
+"""Ablation — round-to-nearest-even vs truncation at the EMAC output.
+
+The paper adopts RNE "to further improve accuracy" (Section III-A).  This
+bench isolates that choice: exact accumulation in both arms, only the final
+quire -> posit conversion differs.
+"""
+
+import pytest
+
+from repro.analysis import truncated_accuracy
+from repro.core import PositronNetwork
+from repro.posit.format import standard_format
+
+WIDTHS = [(5, 0), (6, 0), (7, 0)]
+
+
+@pytest.mark.benchmark(group="ablation-rounding")
+def test_rne_vs_truncation(benchmark, write_result, iris_model):
+    ds = iris_model.dataset
+    weights, biases = iris_model.model.export_params()
+
+    def run():
+        rows = []
+        for n, es in WIDTHS:
+            net = PositronNetwork.from_float_params(
+                standard_format(n, es), weights, biases
+            )
+            rne = net.accuracy(ds.test_x, ds.test_y)
+            trunc = truncated_accuracy(net, ds.test_x, ds.test_y)
+            rows.append((n, es, rne, trunc))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: RNE vs truncation at the EMAC output (iris, posit)",
+        f"{'format':<12} {'RNE':>8} {'trunc':>8} {'delta pp':>9}",
+    ]
+    for n, es, rne, trunc in rows:
+        lines.append(
+            f"posit<{n},{es}>   {100 * rne:>7.2f}% {100 * trunc:>7.2f}% "
+            f"{100 * (rne - trunc):>8.2f}"
+        )
+    write_result("ablation_rounding.txt", "\n".join(lines))
+    for _, __, rne, trunc in rows:
+        assert trunc <= rne + 0.041  # truncation never meaningfully better

@@ -1,0 +1,99 @@
+"""Microbenchmarks — exact-MAC throughput of the engines and scalar cores.
+
+Not a paper figure; documents the cost of bit-exact emulation and the
+speedup of the limb-vectorized engine over the scalar soft-core models
+(what makes the Table II sweeps tractable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import engine_for, scalar_emac_for
+from repro.fixedpoint import fixed_format
+from repro.floatp import float_format
+from repro.posit import Posit, Quire
+from repro.posit.format import standard_format
+
+FORMATS = {
+    "posit8es1": standard_format(8, 1),
+    "float8we4": float_format(4, 3),
+    "fixed8q4": fixed_format(8, 4),
+}
+
+
+def _layer_patterns(fmt, rng, batch=64, fan_in=64, fan_out=16):
+    hi = 1 << fmt.n
+    W = rng.integers(0, hi, size=(fan_out, fan_in), dtype=np.uint32)
+    X = rng.integers(0, hi, size=(batch, fan_in), dtype=np.uint32)
+    from repro.posit.format import PositFormat
+    from repro.floatp.format import FloatFormat
+
+    if isinstance(fmt, PositFormat):
+        W[W == fmt.nar_pattern] = 0
+        X[X == fmt.nar_pattern] = 0
+    elif isinstance(fmt, FloatFormat):
+        from repro.floatp import tables_for
+
+        res = tables_for(fmt).is_reserved
+        W[res[W]] = 0
+        X[res[X]] = 0
+    return W, X
+
+
+@pytest.mark.benchmark(group="throughput-vector")
+@pytest.mark.parametrize("name", sorted(FORMATS))
+def test_vector_engine_throughput(benchmark, name):
+    """Exact MACs/second of the vectorized engine (64x64 -> 16 layer)."""
+    fmt = FORMATS[name]
+    engine = engine_for(fmt)
+    rng = np.random.default_rng(1)
+    W, X = _layer_patterns(fmt, rng)
+    result = benchmark(engine.dot, W, X)
+    assert result.shape == (64, 16)
+    macs = 64 * 64 * 16
+    benchmark.extra_info["exact_macs_per_round"] = macs
+
+
+@pytest.mark.benchmark(group="throughput-scalar")
+@pytest.mark.parametrize("name", sorted(FORMATS))
+def test_scalar_emac_throughput(benchmark, name):
+    """Reference scalar EMAC: one 64-MAC dot product."""
+    fmt = FORMATS[name]
+    emac = scalar_emac_for(fmt)
+    rng = np.random.default_rng(2)
+    W, X = _layer_patterns(fmt, rng, batch=1, fan_in=64, fan_out=1)
+    ws = [int(w) for w in W[0]]
+    xs = [int(x) for x in X[0]]
+    benchmark(emac.dot, ws, xs)
+
+
+@pytest.mark.benchmark(group="throughput-scalar")
+def test_posit_scalar_arithmetic(benchmark):
+    """Correctly rounded scalar posit multiply-add chain."""
+    fmt = standard_format(8, 1)
+    values = [Posit.from_value(fmt, v) for v in (0.5, 1.25, -2.0, 0.125)]
+
+    def chain():
+        acc = Posit.zero(fmt)
+        for a in values:
+            for b in values:
+                acc = acc + a * b
+        return acc
+
+    benchmark(chain)
+
+
+@pytest.mark.benchmark(group="throughput-scalar")
+def test_quire_fused_dot(benchmark):
+    """Quire fused dot product (single rounding) throughput."""
+    fmt = standard_format(8, 1)
+    rng = np.random.default_rng(3)
+    ws = [Posit.from_bits(fmt, int(b) if int(b) != fmt.nar_pattern else 0)
+          for b in rng.integers(0, 256, size=64)]
+    xs = [Posit.from_bits(fmt, int(b) if int(b) != fmt.nar_pattern else 0)
+          for b in rng.integers(0, 256, size=64)]
+
+    def fused():
+        return Quire(fmt).dot(ws, xs)
+
+    benchmark(fused)

@@ -1,0 +1,61 @@
+"""Fig. 2 — 7-bit posit (es=0) value distribution vs trained DNN weights.
+
+Both histograms must cluster heavily in [-1, 1]: that alignment is the
+paper's motivation for using posits to represent DNN parameters.
+"""
+
+import pytest
+
+from repro.analysis import (
+    in_unit_fraction,
+    posit_value_histogram,
+    render_histogram,
+    weight_histogram,
+)
+from repro.posit.format import standard_format
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_posit7_value_distribution(benchmark, write_result):
+    fmt = standard_format(7, 0)
+    hist = benchmark(posit_value_histogram, fmt)
+    write_result(
+        "fig2a_posit7_values.txt",
+        render_histogram("Fig. 2(a): 7-bit posit (es=0) value distribution", hist),
+    )
+    # The clustering claim: most representable values lie in [-1, 1].
+    assert in_unit_fraction(hist) > 0.5
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_trained_weight_distribution(benchmark, write_result, wbc_model):
+    weights, _ = wbc_model.model.export_params()
+
+    hist = benchmark(weight_histogram, weights)
+    write_result(
+        "fig2b_trained_weights.txt",
+        render_histogram("Fig. 2(b): trained WBC DNN weight distribution", hist),
+    )
+    assert in_unit_fraction(hist) > 0.8
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_alignment_statistic(benchmark, write_result, wbc_model):
+    """Quantifies the (a)/(b) match the paper argues visually."""
+    fmt = standard_format(7, 0)
+    weights, _ = wbc_model.model.export_params()
+
+    def compute():
+        return (
+            in_unit_fraction(posit_value_histogram(fmt)),
+            in_unit_fraction(weight_histogram(weights)),
+        )
+
+    posit_frac, weight_frac = benchmark(compute)
+    write_result(
+        "fig2_alignment.txt",
+        "Fraction of mass in [-1, 1]:\n"
+        f"  7-bit posit (es=0) values : {posit_frac:.3f}\n"
+        f"  trained WBC weights       : {weight_frac:.3f}",
+    )
+    assert posit_frac > 0.5 and weight_frac > 0.8

@@ -1,0 +1,54 @@
+"""Fig. 6 — dynamic range vs maximum operating frequency per EMAC.
+
+Claims preserved from the paper (Section IV-A):
+* fixed-point achieves the lowest datapath latency (highest Fmax);
+* the posit EMAC reaches a given dynamic range at a higher Fmax than the
+  floating-point EMAC.
+"""
+
+import pytest
+
+from repro.analysis import render_series
+from repro.hw import default_configs_for_width, emac_report, figure6_series
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_dynamic_range_vs_fmax(benchmark, write_result):
+    series = benchmark(figure6_series)
+    text = render_series(
+        "Fig. 6: Dynamic range vs max operating frequency (Hz)",
+        series,
+        x_label="dynamic range",
+        y_label="Fmax (Hz)",
+    )
+    write_result("fig6_freq_vs_range.txt", text)
+
+    # Fixed is fastest overall.
+    fastest_fixed = max(f for _, f in series["fixed"])
+    assert fastest_fixed > max(f for _, f in series["float"])
+    assert fastest_fixed > max(f for _, f in series["posit"])
+
+    # Posit dominates float at comparable dynamic range *at equal width*
+    # (the paper's uniform-bit-width comparison): every float config whose
+    # dynamic range falls inside the posit DR span must be beaten by a
+    # same-n posit offering at least as much range.  Floats below the span
+    # (we=2, nearly fixed-point range) have no comparable posit point.
+    for n in (5, 6, 7, 8):
+        configs = default_configs_for_width(n)
+        posits = [emac_report(f) for f in configs["posit"]]
+        min_posit_dr = min(p.dynamic_range for p in posits)
+        for fmt in configs["float"]:
+            rf = emac_report(fmt)
+            if rf.dynamic_range < min_posit_dr:
+                continue
+            cover = [p.fmax_hz for p in posits if p.dynamic_range >= rf.dynamic_range]
+            if cover:
+                assert max(cover) > rf.fmax_hz, f"n={n}: {rf.label} uncovered"
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fixed_has_narrow_range(benchmark):
+    """Fixed-point's dynamic range is q-independent (one cluster per n)."""
+    series = benchmark(figure6_series)
+    ranges = {round(dr, 6) for dr, _ in series["fixed"]}
+    assert len(ranges) == 4  # one per n in 5..8

@@ -1,0 +1,39 @@
+"""Fig. 7 — bit width vs energy-delay-product per EMAC.
+
+Claims preserved: fixed-point has the lowest EDP at every width; the float
+and posit EMACs have similar EDPs (within 2x of each other).
+"""
+
+import pytest
+
+from repro.analysis import render_series
+from repro.hw import figure7_series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_edp_vs_width(benchmark, write_result):
+    series = benchmark(figure7_series)
+    text = render_series(
+        "Fig. 7: n vs energy-delay-product (J*s per 16-MAC dot product)",
+        series,
+        x_label="n",
+        y_label="EDP",
+    )
+    write_result("fig7_edp.txt", text)
+
+    fixed = dict(series["fixed"])
+    flt = dict(series["float"])
+    posit = dict(series["posit"])
+    for n in (5, 6, 7, 8):
+        assert fixed[n] < flt[n], f"fixed not lowest at n={n}"
+        assert fixed[n] < posit[n], f"fixed not lowest at n={n}"
+        ratio = posit[n] / flt[n]
+        assert 0.5 < ratio < 2.0, f"posit/float EDP dissimilar at n={n}"
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_edp_grows_with_width(benchmark):
+    series = benchmark(figure7_series)
+    for family in ("fixed", "float", "posit"):
+        edps = [e for _, e in series[family]]
+        assert edps == sorted(edps), family

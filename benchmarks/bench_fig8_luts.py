@@ -1,0 +1,63 @@
+"""Fig. 8 — bit width vs LUT utilization per EMAC.
+
+Claim preserved: posit consumes the most LUTs (its decode/encode stages are
+the most involved), float is in the middle, fixed is a bare adder.
+"""
+
+import pytest
+
+from repro.analysis import render_series
+from repro.hw import emac_report, figure8_series
+from repro.posit.format import standard_format
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_luts_vs_width(benchmark, write_result):
+    series = benchmark(figure8_series)
+    text = render_series(
+        "Fig. 8: n vs LUT utilization",
+        series,
+        x_label="n",
+        y_label="LUTs",
+        y_format="{:.0f}",
+    )
+    write_result("fig8_luts.txt", text)
+
+    posit = dict(series["posit"])
+    flt = dict(series["float"])
+    fixed = dict(series["fixed"])
+    for n in (5, 6, 7, 8):
+        assert posit[n] > flt[n] > fixed[n], f"Fig. 8 ordering broken at n={n}"
+        assert posit[n] < 5000  # sanity: still a soft core, not a monster
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_posit_decode_share(benchmark, write_result):
+    """Where posit LUTs go: decode/encode dominate, as the paper argues."""
+
+    def breakdown():
+        return emac_report(standard_format(8, 1)).luts
+
+    luts = benchmark(breakdown)
+    interface = luts.decode + luts.round_clip + luts.normalize
+    write_result(
+        "fig8_posit_breakdown.txt",
+        "posit<8,1> LUT breakdown:\n"
+        f"  decode           : {luts.decode:.0f}\n"
+        f"  multiply/scale   : {luts.multiply:.0f}\n"
+        f"  quire shift      : {luts.shift:.0f}\n"
+        f"  2's complement   : {luts.twos_complement:.0f}\n"
+        f"  accumulate       : {luts.accumulate:.0f}\n"
+        f"  normalize        : {luts.normalize:.0f}\n"
+        f"  round/encode     : {luts.round_clip:.0f}\n"
+        f"  TOTAL (calibrated): {luts.total}",
+    )
+    assert interface > 0.3 * (
+        luts.decode
+        + luts.multiply
+        + luts.shift
+        + luts.twos_complement
+        + luts.accumulate
+        + luts.normalize
+        + luts.round_clip
+    )

@@ -1,0 +1,58 @@
+"""Fig. 9 — average accuracy degradation vs energy-delay-product.
+
+For each format family and width in [5, 8]: the best configuration's
+accuracy degradation (vs the 32-bit float baseline), averaged over the
+three datasets, against the hardware model's EDP.  Claims preserved:
+
+* degradation shrinks as width grows, for every family;
+* posit achieves the lowest degradation at the ultra-low end (n = 5);
+* fixed sits at low EDP / high degradation — the paper's "moderate cost"
+  argument for posit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure9_series, render_figure9
+
+
+@pytest.fixture(scope="module")
+def series(wbc_model, iris_model, mushroom_model):
+    return figure9_series()
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_regeneration(benchmark, write_result, series):
+    text = benchmark.pedantic(
+        lambda: render_figure9(figure9_series()), rounds=1, iterations=1
+    )
+    write_result("fig9_accuracy_vs_edp.txt", text)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_degradation_shrinks_with_width(series):
+    for family, points in series.items():
+        degs = [p["avg_degradation_pct"] for p in points]
+        # allow small non-monotonic wiggles, but the trend must be down
+        assert degs[-1] < degs[0], family
+        if family in ("posit", "float"):
+            # 8-bit posit/float are near-baseline; fixed is NOT (the paper's
+            # Table II shows the same: fixed-8 loses 32 points on WBC).
+            assert degs[-1] < 1.5, family
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_posit_best_at_ultra_low_precision(series):
+    at5 = {f: pts[0] for f, pts in series.items() if pts[0]["n"] == 5}
+    assert at5["posit"]["avg_degradation_pct"] <= at5["float"]["avg_degradation_pct"]
+    assert at5["posit"]["avg_degradation_pct"] <= at5["fixed"]["avg_degradation_pct"]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_fixed_cheapest_but_least_accurate(series):
+    for n_idx in range(4):
+        fixed = series["fixed"][n_idx]
+        posit = series["posit"][n_idx]
+        assert fixed["avg_edp"] < posit["avg_edp"]
+    avg_deg = lambda fam: np.mean([p["avg_degradation_pct"] for p in series[fam]])
+    assert avg_deg("fixed") > avg_deg("posit")

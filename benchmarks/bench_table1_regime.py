@@ -1,0 +1,49 @@
+"""Table I — regime run-length interpretation, plus decode throughput.
+
+Regenerates the paper's Table I from the decoder and benchmarks full-format
+posit decoding (the Algorithm 1 path every EMAC input traverses).
+"""
+
+import pytest
+
+from repro.posit import decode, regime_of_run, regime_run_length
+from repro.posit.format import standard_format
+
+TABLE1 = [("0001", -3), ("001", -2), ("01", -1), ("10", 0), ("110", 1), ("1110", 2)]
+
+
+def render_table1() -> str:
+    lines = ["TABLE I: Regime Interpretation", "Binary   Regime (k)"]
+    for binary, _ in TABLE1:
+        bits = int(binary, 2)
+        width = len(binary)
+        run = regime_run_length(bits, width)
+        leading = (bits >> (width - 1)) & 1
+        lines.append(f"{binary:<8} {regime_of_run(leading, run):>9}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regime_interpretation(benchmark, write_result):
+    text = benchmark(render_table1)
+    write_result("table1_regime.txt", text)
+    for binary, expected in TABLE1:
+        bits = int(binary, 2)
+        width = len(binary)
+        run = regime_run_length(bits, width)
+        leading = (bits >> (width - 1)) & 1
+        assert regime_of_run(leading, run) == expected
+
+
+@pytest.mark.benchmark(group="table1")
+def test_decode_throughput_posit8(benchmark):
+    """Scalar Algorithm-1 decode rate over every posit<8,2> pattern."""
+    fmt = standard_format(8, 2)
+
+    def decode_all():
+        total = 0
+        for bits in fmt.all_patterns():
+            total += decode(fmt, bits).scale
+        return total
+
+    benchmark(decode_all)

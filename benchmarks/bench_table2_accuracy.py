@@ -1,0 +1,57 @@
+"""Table II — Deep Positron accuracy on the three datasets, 8-bit EMACs.
+
+Regenerates the paper's headline table: best accuracy per format at n = 8,
+against the 32-bit float parent model.  Claims preserved:
+
+* posit either outperforms or matches float and fixed on every dataset;
+* posit is within ~2 points of the 32-bit float baseline;
+* fixed-point trails badly on the scale-heterogeneous WBC task.
+
+Absolute accuracies differ from the paper (our datasets are documented
+substitutions — DESIGN.md §4); the orderings are the reproduction target.
+"""
+
+import pytest
+
+from repro.analysis import render_table2, table2_rows
+
+
+@pytest.fixture(scope="module")
+def rows(wbc_model, iris_model, mushroom_model):
+    # The model fixtures make training cost visible/shared; table2_rows
+    # reuses them through the in-process cache.
+    return table2_rows()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_regeneration(benchmark, write_result, rows):
+    text = benchmark.pedantic(
+        lambda: render_table2(table2_rows()), rounds=1, iterations=1
+    )
+    write_result("table2_accuracy.txt", text)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_posit_outperforms_or_matches(rows):
+    for row in rows:
+        assert row["posit"] >= row["float"] - 1e-9, row["dataset"]
+        assert row["posit"] >= row["fixed"] - 1e-9, row["dataset"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_posit_close_to_float32(rows):
+    for row in rows:
+        gap = row["float32"] - row["posit"]
+        assert gap <= 0.022, f"{row['dataset']}: posit {gap:.3f} below baseline"
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_fixed_collapses_on_wbc(rows):
+    wbc = next(r for r in rows if r["dataset"] == "wbc")
+    assert wbc["fixed"] < wbc["posit"] - 0.05
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_inference_sizes_match_paper(rows):
+    sizes = {r["dataset"]: r["inference_size"] for r in rows}
+    assert sizes == {"wbc": 190, "iris": 50, "mushroom": 2708}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artifacts (trained parent models, accuracy sweeps) are built once per
+session and shared; each bench regenerates its paper table/figure, writes
+the text rendering under ``results/``, and asserts the paper's qualitative
+claims (orderings, crossovers, gaps) so a regression in any subsystem fails
+the bench rather than silently changing the story.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches drop their regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write (and echo) one regenerated artifact."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def wbc_model():
+    from repro.analysis import trained_model
+
+    return trained_model("wbc")
+
+
+@pytest.fixture(scope="session")
+def iris_model():
+    from repro.analysis import trained_model
+
+    return trained_model("iris")
+
+
+@pytest.fixture(scope="session")
+def mushroom_model():
+    from repro.analysis import trained_model
+
+    return trained_model("mushroom")

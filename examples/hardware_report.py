@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""FPGA hardware study of the three EMAC soft cores (paper Figs 6-8).
+
+Prints dynamic range vs Fmax, EDP and LUT tables across bit widths, and a
+full per-stage breakdown of one chosen EMAC configuration.
+
+Run:  python examples/hardware_report.py [n] [es]
+"""
+
+import sys
+
+from repro.analysis import render_series
+from repro.hw import (
+    default_configs_for_width,
+    emac_report,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+)
+from repro.posit import standard_format
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    es = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    print(render_series(
+        "Fig. 6: dynamic range vs Fmax (Hz)",
+        figure6_series(),
+        x_label="dynamic range",
+        y_label="Fmax",
+    ))
+    print()
+    print(render_series(
+        "Fig. 7: n vs EDP (J*s per 16-MAC dot product)",
+        figure7_series(),
+        x_label="n",
+        y_label="EDP",
+    ))
+    print()
+    print(render_series(
+        "Fig. 8: n vs LUTs",
+        figure8_series(),
+        x_label="n",
+        y_label="LUTs",
+        y_format="{:.0f}",
+    ))
+
+    fmt = standard_format(n, es)
+    report = emac_report(fmt)
+    print(f"\n=== {report.label} EMAC detail (fan-in 16) ===")
+    print(f"quire width (eq. 4)   : {report.design.accumulator_bits} bits")
+    print(f"significand multiplier: {report.design.multiplier_bits} x "
+          f"{report.design.multiplier_bits} -> {report.dsps} DSP48")
+    print(f"LUTs (calibrated)     : {report.luts.total}")
+    stage = report.stages
+    print("pipeline stages (ns)  : "
+          f"decode {1e9 * stage.decode:.2f}, multiply {1e9 * stage.multiply:.2f}, "
+          f"accumulate {1e9 * stage.accumulate:.2f}, encode {1e9 * stage.encode:.2f}")
+    print(f"Fmax                  : {report.fmax_hz / 1e6:.0f} MHz")
+    print(f"power at Fmax         : {1e3 * report.power.total_w:.1f} mW "
+          f"({1e3 * report.power.dynamic_w:.1f} dynamic)")
+    print(f"16-MAC dot product    : {report.power.dot_product_cycles} cycles, "
+          f"{1e9 * report.power.dot_product_latency_s:.1f} ns, EDP {report.edp:.2e} J*s")
+
+    print("\nsame-width alternatives:")
+    for family, fmts in default_configs_for_width(n).items():
+        for f in fmts:
+            r = emac_report(f)
+            print(f"  {r.label:<14} DR {r.dynamic_range:6.2f}  "
+                  f"{r.fmax_hz / 1e6:5.0f} MHz  {r.luts.total:>4} LUTs  "
+                  f"EDP {r.edp:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Full Deep Positron pipeline on the Iris task (paper Table II, row 2).
+
+Trains a float parent model, deploys it at 8 bits in all three numerical
+formats on the exact-MAC inference engine, and prints accuracies, the
+confusion matrix of the posit deployment, and the streaming dataflow
+timing of the deployed accelerator.
+
+Run:  python examples/iris_inference.py
+"""
+
+import numpy as np
+
+from repro.analysis import trained_model
+from repro.core import PositronNetwork
+from repro.fixedpoint import fixed_format
+from repro.floatp import float_format
+from repro.hw import emac_report
+from repro.nn import confusion_matrix
+from repro.posit import standard_format
+
+
+def main() -> None:
+    tm = trained_model("iris")
+    ds = tm.dataset
+    weights, biases = tm.model.export_params()
+    print(f"dataset: {ds.name}  train {len(ds.train_y)} / infer {ds.inference_size}")
+    print(f"32-bit float baseline accuracy: {100 * tm.float32_accuracy:.2f}%\n")
+
+    formats = {
+        "posit<8,1>": standard_format(8, 1),
+        "float<1,4,3>": float_format(4, 3),
+        "fixed<8,4>": fixed_format(8, 4),
+    }
+    networks = {}
+    print(f"{'format':<14} {'accuracy':>9}")
+    for label, fmt in formats.items():
+        net = PositronNetwork.from_float_params(fmt, weights, biases)
+        networks[label] = net
+        print(f"{label:<14} {100 * net.accuracy(ds.test_x, ds.test_y):>8.2f}%")
+
+    # Confusion matrix of the posit deployment.
+    net = networks["posit<8,1>"]
+    preds = net.predict(ds.test_x)
+    cm = confusion_matrix(preds, ds.test_y, ds.num_classes)
+    print("\nposit<8,1> confusion matrix (rows = truth):")
+    header = " ".join(f"{name[:6]:>8}" for name in ds.class_names)
+    print(f"{'':12}{header}")
+    for i, name in enumerate(ds.class_names):
+        row = " ".join(f"{cm[i, j]:>8}" for j in range(ds.num_classes))
+        print(f"{name[:10]:<12}{row}")
+
+    # Streaming dataflow timing at the hardware model's Fmax.
+    timing = net.timing()
+    fmax = emac_report(net.fmt, fan_in=max(net.topology[:-1])).fmax_hz
+    print(f"\ntopology {'-'.join(map(str, net.topology))}, "
+          f"parameter memory {net.total_memory_bits()} bits")
+    print(f"latency {timing.latency_cycles} cycles, "
+          f"initiation interval {timing.initiation_interval} cycles")
+    print(f"at Fmax {fmax / 1e6:.0f} MHz: "
+          f"{1e6 * timing.latency_seconds(fmax):.3f} us/sample, "
+          f"{1e3 * timing.batch_seconds(ds.inference_size, fmax):.3f} ms "
+          f"for the whole {ds.inference_size}-sample inference set")
+
+    # Whole-accelerator synthesis roll-up (one EMAC per neuron + memories).
+    from repro.hw import synthesize_network
+
+    print()
+    print(synthesize_network(net).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: posit arithmetic, the quire, and an exact MAC in 60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import FixedEmac, FloatEmac, Posit, PositEmac, Quire
+from repro.fixedpoint import Fixed, fixed_format
+from repro.floatp import FloatP, float_format
+from repro.posit import standard_format
+
+
+def main() -> None:
+    # --- 1. Posit values -------------------------------------------------
+    p8 = standard_format(8, 1)  # 8 bits, 1 exponent bit
+    a = Posit.from_value(p8, 0.8)
+    b = Posit.from_value(p8, -2.5)
+    print(f"posit<8,1>:  a = {float(a):.6f} (bits {a.bits:#04x}), "
+          f"b = {float(b):.6f} (bits {b.bits:#04x})")
+    print(f"  a + b = {float(a + b):.6f}   a * b = {float(a * b):.6f}")
+    print(f"  maxpos = {float(Posit.maxpos(p8))}, minpos = {float(Posit.minpos(p8))}")
+    print(f"  dynamic range = {p8.dynamic_range:.2f} decades")
+
+    # --- 2. The quire: exact dot products --------------------------------
+    # Catastrophic cancellation is survived exactly: maxpos^2 cancels and
+    # the tiny minpos^2 term is preserved.
+    q = Quire(p8)
+    mx, mn = Posit.maxpos(p8), Posit.minpos(p8)
+    q.multiply_accumulate(mx, mx)
+    q.multiply_accumulate(-mx, mx)
+    q.multiply_accumulate(mn, mn)
+    print(f"\nquire after maxpos^2 - maxpos^2 + minpos^2 = {q.to_fraction()}")
+    print(f"rounded to posit: {float(q.to_posit())} (a naive FPU returns 0.0)")
+
+    # --- 3. The three EMAC soft cores ------------------------------------
+    weights = [0.5, -1.25, 2.0, 0.125]
+    activations = [1.0, 0.5, -0.75, 4.0]
+    exact = sum(Fraction(w) * Fraction(x) for w, x in zip(weights, activations))
+    print(f"\nexact dot product = {float(exact)}")
+
+    emac = PositEmac(p8)
+    w_bits = [Posit.from_value(p8, w).bits for w in weights]
+    x_bits = [Posit.from_value(p8, x).bits for x in activations]
+    out = emac.dot(w_bits, x_bits)
+    print(f"posit<8,1> EMAC  -> {float(Posit.from_bits(p8, out)):.6f}")
+
+    f8 = float_format(4, 3)
+    femac = FloatEmac(f8)
+    out = femac.dot(
+        [FloatP.from_value(f8, w).bits for w in weights],
+        [FloatP.from_value(f8, x).bits for x in activations],
+    )
+    print(f"float<1,4,3> EMAC -> {float(FloatP.from_bits(f8, out)):.6f}")
+
+    q84 = fixed_format(8, 4)
+    xemac = FixedEmac(q84)
+    out = xemac.dot(
+        [Fixed.from_value(q84, w).bits for w in weights],
+        [Fixed.from_value(q84, x).bits for x in activations],
+    )
+    print(f"fixed<8,4> EMAC  -> {float(Fixed.from_bits(q84, out)):.6f}")
+    print("\nAll three accumulate exactly and round only once at the output.")
+
+
+if __name__ == "__main__":
+    main()

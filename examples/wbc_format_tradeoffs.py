@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Accuracy-vs-width sweep on the Wisconsin Breast Cancer task.
+
+This is the paper's central trade-off (Table II + Fig. 9) on the dataset
+where it is most dramatic: WBC features span ~3.5 orders of magnitude, so a
+single-binary-point fixed format must sacrifice half the evidence while
+posit's tapered precision keeps it.
+
+Run:  python examples/wbc_format_tradeoffs.py
+"""
+
+from repro.analysis import sweep_width, trained_model
+from repro.hw import emac_report
+from repro.nn.quantize import candidate_configs
+
+
+def main() -> None:
+    tm = trained_model("wbc")
+    print(f"WBC: 30 raw-scale features, inference size {tm.dataset.inference_size}")
+    print(f"32-bit float baseline: {100 * tm.float32_accuracy:.2f}%\n")
+
+    print(f"{'n':>2} {'posit':>22} {'float':>22} {'fixed':>22}")
+    for n in (5, 6, 7, 8):
+        sweep = sweep_width("wbc", n)
+        cells = []
+        for family in ("posit", "float", "fixed"):
+            best = sweep["best"][family]
+            cells.append(f"{100 * best['accuracy']:6.2f}% ({best['label']})")
+        print(f"{n:>2} {cells[0]:>22} {cells[1]:>22} {cells[2]:>22}")
+
+    print("\nper-config detail at 8 bits (accuracy | LUTs | Fmax | EDP):")
+    sweep = sweep_width("wbc", 8)
+    acc_by_label = {r["label"]: r["accuracy"] for r in sweep["all"]}
+    for config in candidate_configs(8):
+        report = emac_report(config.fmt)
+        acc = acc_by_label[config.label]
+        print(
+            f"  {config.label:<14} {100 * acc:6.2f}% | {report.luts.total:>4} LUTs | "
+            f"{report.fmax_hz / 1e6:5.0f} MHz | {report.edp:.2e} J*s"
+        )
+
+    print(
+        "\nReading: posit holds its accuracy down to narrow widths; fixed "
+        "collapses because no single binary point covers both the area-scale "
+        "and the concavity-scale features."
+    )
+
+
+if __name__ == "__main__":
+    main()

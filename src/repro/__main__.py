@@ -1,0 +1,153 @@
+"""Command-line experiment driver.
+
+Regenerate any paper artifact from the shell::
+
+    python -m repro table1      # regime interpretation
+    python -m repro fig2        # value/weight distributions
+    python -m repro fig6        # dynamic range vs Fmax
+    python -m repro fig7        # n vs EDP
+    python -m repro fig8        # n vs LUTs
+    python -m repro fig9        # accuracy degradation vs EDP
+    python -m repro table2     # headline accuracy table
+    python -m repro synth wbc  # accelerator synthesis roll-up
+    python -m repro all        # everything above
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _table1() -> str:
+    from .posit import regime_of_run, regime_run_length
+
+    lines = ["TABLE I: Regime Interpretation", "Binary   Regime (k)"]
+    for binary in ("0001", "001", "01", "10", "110", "1110"):
+        bits = int(binary, 2)
+        width = len(binary)
+        run = regime_run_length(bits, width)
+        leading = (bits >> (width - 1)) & 1
+        lines.append(f"{binary:<8} {regime_of_run(leading, run):>9}")
+    return "\n".join(lines)
+
+
+def _fig2() -> str:
+    from .analysis import (
+        in_unit_fraction,
+        posit_value_histogram,
+        render_histogram,
+        trained_model,
+        weight_histogram,
+    )
+    from .posit import standard_format
+
+    fmt = standard_format(7, 0)
+    value_hist = posit_value_histogram(fmt)
+    weights, _ = trained_model("wbc").model.export_params()
+    weight_hist = weight_histogram(weights)
+    return "\n\n".join(
+        [
+            render_histogram("Fig. 2(a): 7-bit posit (es=0) values", value_hist),
+            render_histogram("Fig. 2(b): trained WBC weights", weight_hist),
+            f"mass in [-1,1]: posit {in_unit_fraction(value_hist):.3f}, "
+            f"weights {in_unit_fraction(weight_hist):.3f}",
+        ]
+    )
+
+
+def _fig6() -> str:
+    from .analysis import render_series
+    from .hw import figure6_series
+
+    return render_series(
+        "Fig. 6: dynamic range vs Fmax (Hz)",
+        figure6_series(),
+        x_label="dynamic range",
+        y_label="Fmax",
+    )
+
+
+def _fig7() -> str:
+    from .analysis import render_series
+    from .hw import figure7_series
+
+    return render_series(
+        "Fig. 7: n vs EDP (J*s)", figure7_series(), x_label="n", y_label="EDP"
+    )
+
+
+def _fig8() -> str:
+    from .analysis import render_series
+    from .hw import figure8_series
+
+    return render_series(
+        "Fig. 8: n vs LUTs",
+        figure8_series(),
+        x_label="n",
+        y_label="LUTs",
+        y_format="{:.0f}",
+    )
+
+
+def _fig9() -> str:
+    from .analysis import figure9_series, render_figure9
+
+    return render_figure9(figure9_series())
+
+
+def _table2() -> str:
+    from .analysis import render_table2, table2_rows
+
+    return render_table2(table2_rows())
+
+
+def _synth(dataset: str) -> str:
+    from .analysis import trained_model
+    from .core import PositronNetwork
+    from .hw import synthesize_network
+    from .posit import standard_format
+
+    tm = trained_model(dataset)
+    weights, biases = tm.model.export_params()
+    net = PositronNetwork.from_float_params(standard_format(8, 1), weights, biases)
+    return f"[{dataset}, posit<8,1>]\n" + synthesize_network(net).render()
+
+
+_COMMANDS = {
+    "table1": _table1,
+    "fig2": _fig2,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "table2": _table2,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch to one experiment (or ``all``)."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = args[0]
+    if command == "synth":
+        dataset = args[1] if len(args) > 1 else "wbc"
+        print(_synth(dataset))
+        return 0
+    if command == "all":
+        for name, fn in _COMMANDS.items():
+            print(f"\n{'=' * 20} {name} {'=' * 20}")
+            print(fn())
+        print(f"\n{'=' * 20} synth {'=' * 20}")
+        print(_synth("wbc"))
+        return 0
+    if command not in _COMMANDS:
+        print(f"unknown command '{command}'; try --help", file=sys.stderr)
+        return 2
+    print(_COMMANDS[command]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

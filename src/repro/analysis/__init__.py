@@ -1,0 +1,67 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .cache import cache_dir, cached_json, clear_cache
+from .histograms import (
+    Histogram,
+    in_unit_fraction,
+    posit_value_histogram,
+    weight_histogram,
+)
+from .sweep import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    TrainedModel,
+    evaluate_config,
+    figure9_series,
+    sweep_width,
+    table2_rows,
+    trained_model,
+)
+from .report import (
+    ascii_bar,
+    render_figure9,
+    render_histogram,
+    render_series,
+    render_table2,
+)
+from .ablation import (
+    naive_accuracy,
+    naive_forward,
+    truncated_accuracy,
+    truncated_forward_scalar,
+)
+from .sensitivity import (
+    layer_sensitivity,
+    mixed_precision_network,
+    width_sensitivity,
+)
+
+__all__ = [
+    "cache_dir",
+    "cached_json",
+    "clear_cache",
+    "Histogram",
+    "posit_value_histogram",
+    "weight_histogram",
+    "in_unit_fraction",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "TrainedModel",
+    "trained_model",
+    "evaluate_config",
+    "sweep_width",
+    "table2_rows",
+    "figure9_series",
+    "ascii_bar",
+    "render_table2",
+    "render_series",
+    "render_figure9",
+    "render_histogram",
+    "naive_forward",
+    "naive_accuracy",
+    "truncated_forward_scalar",
+    "truncated_accuracy",
+    "width_sensitivity",
+    "layer_sensitivity",
+    "mixed_precision_network",
+]

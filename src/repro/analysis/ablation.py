@@ -1,0 +1,157 @@
+"""Ablation studies of the EMAC design choices.
+
+The paper's EMAC defers rounding until a whole dot product has been
+accumulated (Section III-A) and rounds with round-to-nearest-even
+(Section III-A, "recommended by IEEE-754 and the posit standard").  Two
+ablations quantify those choices:
+
+* **naive MAC** — round back to the n-bit format after *every*
+  multiply-accumulate, the behaviour of a chain of ordinary low-precision
+  FMA units;
+* **truncated EMAC** — accumulate exactly but truncate (round toward zero)
+  instead of RNE at the output stage.
+
+Both run the same Deep Positron networks as the main sweeps, so the deltas
+are directly comparable to Table II.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..core.positron import PositronNetwork, scalar_emac_for
+from ..core.vector import engine_for
+from ..fixedpoint.format import FixedFormat
+from ..floatp.format import FloatFormat
+from ..nn.quantize import quantize_nearest
+from ..posit.format import PositFormat
+
+__all__ = [
+    "naive_forward",
+    "naive_accuracy",
+    "truncated_forward_scalar",
+    "truncated_accuracy",
+]
+
+
+def _dequantize(fmt, patterns: np.ndarray) -> np.ndarray:
+    return engine_for(fmt).decode_values(patterns)
+
+
+def naive_forward(network: PositronNetwork, inputs: np.ndarray) -> np.ndarray:
+    """Forward pass with rounding after every MAC (the EMAC's antithesis).
+
+    Uses the same quantized parameters as ``network`` but a sequential
+    ``acc = round(acc + round(w * a))`` recurrence per neuron.  All values
+    of the 5-8-bit formats and their pairwise products are exact in
+    float64, so the only inexactness is the modeled per-MAC rounding.
+    """
+    fmt = network.fmt
+    engine = network.engine
+    current = engine.quantize(np.asarray(inputs, dtype=np.float64))
+    for layer in network.layers:
+        w_val = _dequantize(fmt, layer.weights)  # (out, in)
+        b_val = _dequantize(fmt, layer.bias)  # (out,)
+        x_val = _dequantize(fmt, current)  # (batch, in)
+        batch = x_val.shape[0]
+        acc = np.tile(b_val, (batch, 1))  # bias preloaded, like the EMAC
+        for i in range(x_val.shape[1]):
+            product = x_val[:, i : i + 1] * w_val[None, :, i]
+            product = _dequantize(fmt, quantize_nearest(fmt, product))
+            acc = _dequantize(fmt, quantize_nearest(fmt, acc + product))
+        out = quantize_nearest(fmt, acc)
+        if layer.activation == "relu":
+            out = engine.relu(out)
+        current = out
+    return current
+
+
+def naive_accuracy(
+    network: PositronNetwork, inputs: np.ndarray, labels: np.ndarray
+) -> float:
+    """Classification accuracy of the naive rounded-MAC forward pass."""
+    out = naive_forward(network, inputs)
+    values = network.engine.decode_values(out)
+    return float(np.mean(np.argmax(values, axis=1) == np.asarray(labels)))
+
+
+def _truncate_to_format(fmt, value: Fraction) -> int:
+    """Round ``value`` toward zero to the nearest format pattern."""
+    if value == 0:
+        return 0
+    if isinstance(fmt, FixedFormat):
+        scaled = value * (1 << fmt.q)
+        raw = scaled.numerator // scaled.denominator
+        if value < 0 and scaled.denominator != 1 and scaled.numerator % scaled.denominator:
+            raw += 1  # floor -> toward zero for negatives
+        raw = max(fmt.int_min, min(fmt.int_max, raw))
+        return raw & fmt.mask
+    # posit / float: walk down from the RNE result if it overshot.
+    if isinstance(fmt, PositFormat):
+        from ..posit.decode import decode
+        from ..posit.encode import encode_fraction
+
+        bits = encode_fraction(fmt, value)
+        got = decode(fmt, bits).to_fraction()
+        if abs(got) > abs(value):
+            signed = bits - (1 << fmt.n) if bits & fmt.sign_mask else bits
+            signed += -1 if value > 0 else 1
+            bits = signed % (1 << fmt.n)
+            if bits == fmt.nar_pattern:
+                bits = 0
+        return bits
+    if isinstance(fmt, FloatFormat):
+        from ..floatp.codec import decode, encode_fraction
+
+        bits = encode_fraction(fmt, value)
+        got = decode(fmt, bits).to_fraction()
+        if abs(got) > abs(value):
+            sign = bits & fmt.sign_mask
+            mag = bits & ~fmt.sign_mask & fmt.mask
+            mag = max(0, mag - 1)
+            bits = sign | mag
+        return bits
+    raise TypeError(f"unsupported format {type(fmt).__name__}")
+
+
+def truncated_forward_scalar(network: PositronNetwork, sample: np.ndarray) -> list[int]:
+    """One sample through EMACs whose final rounding is truncation.
+
+    Exact accumulation is kept (this isolates the *rounding mode* choice);
+    only the quire -> output conversion changes from RNE to round-toward-
+    zero.  Scalar-path only: intended for the small-dataset ablation bench.
+    """
+    fmt = network.fmt
+    engine = network.engine
+    patterns = [int(p) for p in engine.quantize(np.asarray(sample, dtype=np.float64))]
+    emac = scalar_emac_for(fmt)
+    for layer in network.layers:
+        outputs = []
+        for o in range(layer.out_features):
+            emac.reset(int(layer.bias[o]))
+            for w, a in zip(layer.weights[o], patterns):
+                emac.step(int(w), int(a))
+            exact = emac.accumulator_value()
+            outputs.append(_truncate_to_format(fmt, exact))
+        if layer.activation == "relu":
+            outputs = [
+                int(engine.relu(np.array([b], dtype=np.uint32))[0]) for b in outputs
+            ]
+        patterns = outputs
+    return patterns
+
+
+def truncated_accuracy(
+    network: PositronNetwork, inputs: np.ndarray, labels: np.ndarray
+) -> float:
+    """Accuracy with truncating (round-toward-zero) output stages."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels)
+    correct = 0
+    for i in range(len(inputs)):
+        out = truncated_forward_scalar(network, inputs[i])
+        values = network.engine.decode_values(np.array(out, dtype=np.uint32))
+        correct += int(np.argmax(values) == labels[i])
+    return correct / len(inputs)

@@ -1,0 +1,57 @@
+"""In-process and on-disk caching of expensive experiment artifacts.
+
+Training the parent models and running exact-inference sweeps takes tens of
+seconds; tests, benchmarks, and examples all share the results through this
+module.  The on-disk layer is a JSON file per experiment under
+``.repro_cache/`` in the working directory (delete the directory, or set
+``REPRO_NO_CACHE=1``, to force recomputation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["cache_dir", "cached_json", "clear_cache"]
+
+_ENV_DISABLE = "REPRO_NO_CACHE"
+_DIRNAME = ".repro_cache"
+
+
+def cache_dir() -> Path:
+    """Directory for cached experiment results (created on demand)."""
+    root = Path(os.environ.get("REPRO_CACHE_DIR", _DIRNAME))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def cached_json(name: str, compute: Callable[[], Any]) -> Any:
+    """Return the cached JSON value for ``name`` or compute and store it.
+
+    Values must be JSON-serializable.  Caching is skipped entirely when the
+    ``REPRO_NO_CACHE`` environment variable is set.
+    """
+    if os.environ.get(_ENV_DISABLE):
+        return compute()
+    path = cache_dir() / f"{name}.json"
+    if path.exists():
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            path.unlink(missing_ok=True)
+    value = compute()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w") as handle:
+        json.dump(value, handle)
+    tmp.replace(path)
+    return value
+
+
+def clear_cache() -> None:
+    """Delete all cached experiment results."""
+    root = cache_dir()
+    for path in root.glob("*.json"):
+        path.unlink()

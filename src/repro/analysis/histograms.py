@@ -1,0 +1,83 @@
+"""Fig. 2 study: posit value distribution vs trained weight distribution.
+
+The paper motivates posits by juxtaposing (a) the values representable by a
+7-bit, es=0 posit and (b) the weight histogram of a trained DNN — both
+cluster heavily in [-1, 1], so posit's tapered precision puts its densest
+values exactly where the weights live.  This module computes both
+histograms and a simple coverage statistic quantifying the match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..posit.format import PositFormat
+from ..posit.tables import tables_for
+
+__all__ = ["Histogram", "posit_value_histogram", "weight_histogram", "in_unit_fraction"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Bin edges and counts (float counts allow normalized histograms)."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Sum of all counts."""
+        return float(self.counts.sum())
+
+    def normalized(self) -> "Histogram":
+        """Histogram scaled to unit mass."""
+        total = self.total
+        if total == 0:
+            raise ValueError("empty histogram")
+        return Histogram(self.edges, self.counts / total)
+
+
+def posit_value_histogram(
+    fmt: PositFormat, bins: int = 41, value_range: tuple[float, float] = (-2.5, 2.5)
+) -> Histogram:
+    """Histogram of every representable (real, finite) posit value.
+
+    Values outside ``value_range`` fall into the edge bins, mirroring how
+    the paper's Fig. 2(a) clips its x-axis.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    t = tables_for(fmt)
+    values = t.float_value[~t.is_nar]
+    clipped = np.clip(values, value_range[0], value_range[1])
+    counts, edges = np.histogram(clipped, bins=bins, range=value_range)
+    return Histogram(edges=edges, counts=counts.astype(np.float64))
+
+
+def weight_histogram(
+    weights: list[np.ndarray] | np.ndarray,
+    bins: int = 41,
+    value_range: tuple[float, float] = (-2.5, 2.5),
+) -> Histogram:
+    """Histogram of trained DNN weights (all layers pooled)."""
+    if isinstance(weights, (list, tuple)):
+        flat = np.concatenate([np.asarray(w).ravel() for w in weights])
+    else:
+        flat = np.asarray(weights).ravel()
+    if flat.size == 0:
+        raise ValueError("no weights given")
+    clipped = np.clip(flat, value_range[0], value_range[1])
+    counts, edges = np.histogram(clipped, bins=bins, range=value_range)
+    return Histogram(edges=edges, counts=counts.astype(np.float64))
+
+
+def in_unit_fraction(histogram: Histogram) -> float:
+    """Mass of the histogram inside [-1, 1] — the paper's clustering claim."""
+    centers = (histogram.edges[:-1] + histogram.edges[1:]) / 2
+    inside = (centers >= -1.0) & (centers <= 1.0)
+    total = histogram.total
+    if total == 0:
+        raise ValueError("empty histogram")
+    return float(histogram.counts[inside].sum() / total)

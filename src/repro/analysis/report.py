@@ -1,0 +1,100 @@
+"""Text renderers for the paper's tables and figures.
+
+Benchmarks and examples share these so every experiment prints the same
+rows/series the paper reports, in a stable plain-text form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .histograms import Histogram
+
+__all__ = [
+    "render_table2",
+    "render_series",
+    "render_histogram",
+    "render_figure9",
+    "ascii_bar",
+]
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional bar of '#' characters."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    filled = int(round(width * max(0.0, min(1.0, value / maximum))))
+    return "#" * filled
+
+
+def render_table2(rows: list[dict]) -> str:
+    """Table II: Deep Positron accuracy with 8-bit EMACs."""
+    lines = [
+        "TABLE II: Deep Positron performance on low-dimensional datasets "
+        "with 8-bit EMACs",
+        f"{'Dataset':<10} {'Inference':>9}  {'Posit':>8}  {'Float':>8}  "
+        f"{'Fixed':>8}  {'32-bit Float':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['inference_size']:>9}  "
+            f"{100 * row['posit']:>7.2f}%  {100 * row['float']:>7.2f}%  "
+            f"{100 * row['fixed']:>7.2f}%  {100 * row['float32']:>11.2f}%"
+        )
+    lines.append(
+        "best configs: "
+        + "; ".join(
+            f"{row['dataset']}: {row['posit_config']}, {row['float_config']}, "
+            f"{row['fixed_config']}"
+            for row in rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    y_format: str = "{:.3e}",
+) -> str:
+    """Generic (x, y) multi-series rendering for Figs 6-8."""
+    lines = [title, f"{'family':<8} {x_label:>14} {y_label:>16}"]
+    for family, points in series.items():
+        for x, y in points:
+            x_text = f"{x:.3f}" if isinstance(x, float) else f"{x}"
+            lines.append(f"{family:<8} {x_text:>14} {y_format.format(y):>16}")
+    return "\n".join(lines)
+
+
+def render_figure9(series: dict[str, list[dict]]) -> str:
+    """Fig. 9: average accuracy degradation vs EDP, annotated with n."""
+    lines = [
+        "Fig. 9: Avg. accuracy degradation (%) vs energy-delay-product",
+        f"{'family':<8} {'n':>3} {'degradation %':>14} {'EDP (J*s)':>14}",
+    ]
+    for family, points in series.items():
+        for point in points:
+            lines.append(
+                f"{family:<8} {point['n']:>3} "
+                f"{point['avg_degradation_pct']:>14.3f} "
+                f"{point['avg_edp']:>14.3e}"
+            )
+    return "\n".join(lines)
+
+
+def render_histogram(title: str, histogram: Histogram, width: int = 40) -> str:
+    """ASCII rendering of a histogram (Fig. 2 panels)."""
+    counts = histogram.counts
+    peak = float(counts.max()) if counts.size else 0.0
+    if peak <= 0:
+        raise ValueError("empty histogram")
+    centers = (histogram.edges[:-1] + histogram.edges[1:]) / 2
+    lines = [title]
+    for center, count in zip(centers, counts):
+        lines.append(
+            f"{center:>7.2f} | {ascii_bar(float(count), peak, width):<{width}} "
+            f"{count:.0f}"
+        )
+    return "\n".join(lines)

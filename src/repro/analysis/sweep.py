@@ -1,0 +1,235 @@
+"""Accuracy sweeps — Table II and Fig. 9.
+
+Methodology (paper Section IV-B): train a 32-bit float parent model per
+dataset; deploy it on Deep Positron at every [5, 8]-bit configuration of the
+three formats *without retraining*; report the best accuracy per format per
+width.  The 32-bit float baseline is the parent model itself evaluated in
+float32.
+
+Trained models are cached in-process; sweep results are cached on disk via
+:mod:`repro.analysis.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.positron import PositronNetwork
+from ..datasets import load_iris, load_mushroom, load_wbc
+from ..datasets.splits import Dataset
+from ..hw.metrics import emac_report
+from ..nn.metrics import degradation
+from ..nn.model import MLP
+from ..nn.quantize import FormatConfig, candidate_configs
+from ..nn.train import TrainConfig, train_classifier
+from .cache import cached_json
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "TrainedModel",
+    "trained_model",
+    "evaluate_config",
+    "sweep_width",
+    "table2_rows",
+    "figure9_series",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Per-dataset topology and training hyperparameters."""
+
+    name: str
+    topology: tuple[int, ...]
+    train: TrainConfig
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "wbc": ExperimentSpec(
+        name="wbc",
+        topology=(30, 16, 8, 2),
+        train=TrainConfig(
+            epochs=500,
+            batch_size=32,
+            learning_rate=5e-3,
+            weight_decay=1e-5,
+            early_stop_patience=80,
+            optimizer="adam",
+            seed=1,
+        ),
+    ),
+    "iris": ExperimentSpec(
+        name="iris",
+        topology=(4, 10, 6, 3),
+        train=TrainConfig(
+            epochs=900,
+            batch_size=16,
+            learning_rate=5e-3,
+            weight_decay=1e-5,
+            early_stop_patience=150,
+            optimizer="adam",
+            seed=2,
+        ),
+    ),
+    "mushroom": ExperimentSpec(
+        name="mushroom",
+        topology=(117, 24, 12, 2),
+        train=TrainConfig(
+            epochs=100,
+            batch_size=64,
+            learning_rate=2e-3,
+            early_stop_patience=30,
+            optimizer="adam",
+            seed=4,
+        ),
+    ),
+}
+
+_LOADERS = {"wbc": load_wbc, "iris": load_iris, "mushroom": load_mushroom}
+
+
+@dataclass
+class TrainedModel:
+    """A trained float parent model plus its dataset and baseline accuracy."""
+
+    spec: ExperimentSpec
+    dataset: Dataset
+    model: MLP
+    float32_accuracy: float
+
+
+@lru_cache(maxsize=None)
+def trained_model(dataset_name: str) -> TrainedModel:
+    """Train (once per process) the parent model for a dataset."""
+    if dataset_name not in EXPERIMENTS:
+        raise KeyError(f"unknown dataset '{dataset_name}'")
+    spec = EXPERIMENTS[dataset_name]
+    dataset = _LOADERS[dataset_name]()
+    if dataset.num_features != spec.topology[0]:
+        raise AssertionError("topology/feature mismatch")
+    rng = np.random.default_rng(spec.train.seed)
+    model = MLP(spec.topology, rng)
+    train_classifier(
+        model,
+        dataset.train_x,
+        dataset.train_y,
+        dataset.test_x,
+        dataset.test_y,
+        spec.train,
+    )
+    # The paper's baseline is 32-bit float; round parameters through float32.
+    model.cast_float32()
+    baseline = model.accuracy(dataset.test_x, dataset.test_y)
+    return TrainedModel(spec, dataset, model, baseline)
+
+
+def evaluate_config(tm: TrainedModel, config: FormatConfig) -> float:
+    """Deploy the parent model at one low-precision config; test accuracy."""
+    weights, biases = tm.model.export_params()
+    network = PositronNetwork.from_float_params(config.fmt, weights, biases)
+    return network.accuracy(tm.dataset.test_x, tm.dataset.test_y)
+
+
+def _sweep_width_uncached(dataset_name: str, n: int) -> dict:
+    tm = trained_model(dataset_name)
+    results = []
+    for config in candidate_configs(n):
+        acc = evaluate_config(tm, config)
+        results.append(
+            {"family": config.family, "label": config.label, "accuracy": acc}
+        )
+    best = {}
+    for family in ("posit", "float", "fixed"):
+        fam = [r for r in results if r["family"] == family]
+        best[family] = max(fam, key=lambda r: r["accuracy"]) if fam else None
+    return {
+        "dataset": dataset_name,
+        "n": n,
+        "float32_accuracy": tm.float32_accuracy,
+        "inference_size": tm.dataset.inference_size,
+        "all": results,
+        "best": best,
+    }
+
+
+def sweep_width(dataset_name: str, n: int) -> dict:
+    """All format configs of width ``n`` on one dataset (disk-cached)."""
+    return cached_json(
+        f"sweep_{dataset_name}_n{n}", lambda: _sweep_width_uncached(dataset_name, n)
+    )
+
+
+def table2_rows(datasets: tuple[str, ...] = ("wbc", "iris", "mushroom")) -> list[dict]:
+    """Table II: best 8-bit accuracy per format vs the 32-bit float baseline."""
+    rows = []
+    for name in datasets:
+        sweep = sweep_width(name, 8)
+        rows.append(
+            {
+                "dataset": name,
+                "inference_size": sweep["inference_size"],
+                "posit": sweep["best"]["posit"]["accuracy"],
+                "posit_config": sweep["best"]["posit"]["label"],
+                "float": sweep["best"]["float"]["accuracy"],
+                "float_config": sweep["best"]["float"]["label"],
+                "fixed": sweep["best"]["fixed"]["accuracy"],
+                "fixed_config": sweep["best"]["fixed"]["label"],
+                "float32": sweep["float32_accuracy"],
+            }
+        )
+    return rows
+
+
+def figure9_series(
+    widths: tuple[int, ...] = (5, 6, 7, 8),
+    datasets: tuple[str, ...] = ("wbc", "iris", "mushroom"),
+) -> dict[str, list[dict]]:
+    """Fig. 9: per format family, (avg accuracy degradation, EDP) per width.
+
+    Degradation is averaged over the datasets using each dataset's best
+    config of that family at that width (the paper plots the *lowest*
+    degradation per width); EDP comes from the hardware model for the
+    best-performing configuration, averaged across datasets.
+    """
+    from ..fixedpoint.format import fixed_format
+    from ..floatp.format import float_format
+    from ..posit.format import standard_format
+
+    def config_from_label(label: str):
+        kind, args = label.split("<")
+        nums = [int(x) for x in args.rstrip(">").split(",") if x]
+        if kind == "posit":
+            return standard_format(nums[0], nums[1])
+        if kind == "float":
+            return float_format(nums[1], nums[2])
+        return fixed_format(nums[0], nums[1])
+
+    series: dict[str, list[dict]] = {"posit": [], "float": [], "fixed": []}
+    for n in widths:
+        per_family: dict[str, list[tuple[float, float]]] = {
+            f: [] for f in series
+        }
+        for name in datasets:
+            sweep = sweep_width(name, n)
+            for family in series:
+                best = sweep["best"][family]
+                if best is None:
+                    continue
+                deg = degradation(sweep["float32_accuracy"], best["accuracy"])
+                edp = emac_report(config_from_label(best["label"])).edp
+                per_family[family].append((deg, edp))
+        for family, points in per_family.items():
+            if not points:
+                continue
+            series[family].append(
+                {
+                    "n": n,
+                    "avg_degradation_pct": float(np.mean([p[0] for p in points])),
+                    "avg_edp": float(np.mean([p[1] for p in points])),
+                }
+            )
+    return series

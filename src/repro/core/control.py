@@ -1,0 +1,81 @@
+"""Streaming dataflow timing model for Deep Positron.
+
+The paper's main control unit triggers each layer's compute cycle when the
+preceding layer has finished its input, performing inference "in a parallel
+streaming fashion" (Section III-E).  With one EMAC per neuron, a layer of
+fan-in ``k`` occupies its EMACs for ``k`` MAC cycles plus the pipeline
+fill/drain of the unit.
+
+The model reports:
+
+* per-layer busy cycles,
+* single-sample latency — the sum over layers (layer ``l+1`` starts only
+  after layer ``l`` has produced its activations),
+* steady-state initiation interval — the slowest layer bounds streaming
+  throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InferenceTiming", "layer_cycles", "network_timing"]
+
+
+def layer_cycles(fan_in: int, pipeline_depth: int) -> int:
+    """Busy cycles of one layer: ``k`` MACs + EMAC pipeline fill/drain."""
+    if fan_in < 1:
+        raise ValueError("fan_in must be >= 1")
+    if pipeline_depth < 0:
+        raise ValueError("pipeline_depth must be >= 0")
+    return fan_in + pipeline_depth
+
+
+@dataclass(frozen=True)
+class InferenceTiming:
+    """Cycle-level timing of a streaming inference pipeline.
+
+    Attributes
+    ----------
+    per_layer_cycles:
+        Busy cycles of each layer for one input.
+    latency_cycles:
+        End-to-end cycles for a single sample.
+    initiation_interval:
+        Steady-state cycles between successive outputs when streaming a
+        batch (bounded by the slowest layer).
+    """
+
+    per_layer_cycles: tuple[int, ...]
+    latency_cycles: int
+    initiation_interval: int
+
+    def batch_cycles(self, batch: int) -> int:
+        """Total cycles to stream ``batch`` samples through the pipeline."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self.latency_cycles + (batch - 1) * self.initiation_interval
+
+    def latency_seconds(self, frequency_hz: float) -> float:
+        """Single-sample latency at a given clock."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.latency_cycles / frequency_hz
+
+    def batch_seconds(self, batch: int, frequency_hz: float) -> float:
+        """Streaming time for a batch at a given clock."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.batch_cycles(batch) / frequency_hz
+
+
+def network_timing(fan_ins: list[int], pipeline_depth: int) -> InferenceTiming:
+    """Timing of a multi-layer network given each layer's fan-in."""
+    if not fan_ins:
+        raise ValueError("need at least one layer")
+    cycles = tuple(layer_cycles(k, pipeline_depth) for k in fan_ins)
+    return InferenceTiming(
+        per_layer_cycles=cycles,
+        latency_cycles=sum(cycles),
+        initiation_interval=max(cycles),
+    )

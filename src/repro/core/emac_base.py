@@ -1,0 +1,83 @@
+"""Common interface of the three EMAC soft cores.
+
+An EMAC (exact multiply-and-accumulate) consumes ``k`` (weight, activation)
+pairs, one per clock cycle, accumulating exact products in a wide register;
+rounding/truncation happens once, after the final product (paper
+Section III-A).  A bias can be preloaded into the accumulator so products
+accumulate on top of it.
+
+All EMACs work on raw *bit patterns* (integers), exactly like the hardware;
+conversions from real values belong to the format libraries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from fractions import Fraction
+
+__all__ = ["Emac"]
+
+
+class Emac(ABC):
+    """Abstract exact multiply-and-accumulate unit.
+
+    Subclasses implement the per-format decode / multiply / shift /
+    accumulate / round pipeline.  The driver contract is::
+
+        emac.reset(bias_bits)        # optional bias preload
+        for w, a in pairs:
+            emac.step(w, a)          # one MAC per cycle
+        out_bits = emac.result()     # single rounding/truncation
+    """
+
+    #: Pipeline registers between input and accumulator (paper: a D flip-flop
+    #: separates multiply from accumulate; posit adds decode/encode stages).
+    pipeline_depth: int = 2
+
+    @property
+    @abstractmethod
+    def width(self) -> int:
+        """Input width ``n`` in bits."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier: ``fixed``, ``float``, or ``posit``."""
+
+    @abstractmethod
+    def reset(self, bias_bits: int | None = None) -> None:
+        """Clear the accumulator, optionally preloading a bias pattern."""
+
+    @abstractmethod
+    def step(self, weight_bits: int, activation_bits: int) -> None:
+        """Accumulate one exact product."""
+
+    @abstractmethod
+    def result(self) -> int:
+        """Round/truncate the accumulator to an ``n``-bit output pattern."""
+
+    @abstractmethod
+    def accumulator_value(self) -> Fraction:
+        """Exact rational value currently held (diagnostic)."""
+
+    # ------------------------------------------------------------------
+    def dot(
+        self,
+        weight_bits: Sequence[int],
+        activation_bits: Sequence[int],
+        bias_bits: int | None = None,
+    ) -> int:
+        """Convenience: full dot product, returning the output pattern."""
+        if len(weight_bits) != len(activation_bits):
+            raise ValueError("weights and activations must have equal length")
+        self.reset(bias_bits)
+        for w, a in zip(weight_bits, activation_bits):
+            self.step(w, a)
+        return self.result()
+
+    def cycles(self, k: int) -> int:
+        """Clock cycles for a ``k``-input dot product (fill + drain)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return k + self.pipeline_depth

@@ -1,0 +1,79 @@
+"""Fixed-point EMAC — the paper's Fig. 3 datapath.
+
+Inputs are ``n``-bit two's-complement patterns with ``q`` fraction bits.
+Products are kept at full ``2n``-bit precision (``2q`` fraction bits) and
+accumulated in a ``wa``-bit register (eq. (3)); the final sum is shifted
+right by ``q`` (floor) and clipped to the ``n``-bit output range.
+
+The bias is preloaded into the accumulator aligned to the product grid
+(shifted left by ``q``), exactly as resetting the accumulator flip-flop to
+the bias representation does in hardware.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..fixedpoint.format import FixedFormat
+from .accumulator import ExactAccumulator
+from .emac_base import Emac
+
+__all__ = ["FixedEmac"]
+
+
+class FixedEmac(Emac):
+    """Exact MAC over :class:`~repro.fixedpoint.format.FixedFormat` patterns."""
+
+    pipeline_depth = 2  # multiply register + accumulate register
+
+    def __init__(self, fmt: FixedFormat):
+        self.fmt = fmt
+        # Product grid: 2q fraction bits.
+        self._acc = ExactAccumulator(lsb_exponent=-2 * fmt.q)
+        self.reset()
+
+    @property
+    def width(self) -> int:
+        """Input width ``n``."""
+        return self.fmt.n
+
+    @property
+    def name(self) -> str:
+        """Format identifier."""
+        return "fixed"
+
+    # ------------------------------------------------------------------
+    def reset(self, bias_bits: int | None = None) -> None:
+        """Clear the accumulator; optionally preload a bias pattern."""
+        if bias_bits is None:
+            self._acc.reset(0)
+            return
+        if not self.fmt.valid_pattern(bias_bits):
+            raise ValueError(f"bias pattern {bias_bits:#x} out of range")
+        bias_raw = self.fmt.to_signed(bias_bits)
+        # Bias has q fraction bits; align to the 2q-bit product grid.
+        self._acc.reset(bias_raw << self.fmt.q)
+
+    def step(self, weight_bits: int, activation_bits: int) -> None:
+        """Accumulate one full-precision product."""
+        if not self.fmt.valid_pattern(weight_bits):
+            raise ValueError(f"weight pattern {weight_bits:#x} out of range")
+        if not self.fmt.valid_pattern(activation_bits):
+            raise ValueError(f"activation pattern {activation_bits:#x} out of range")
+        w = self.fmt.to_signed(weight_bits)
+        a = self.fmt.to_signed(activation_bits)
+        self._acc.add_term(w * a, -2 * self.fmt.q)
+
+    def result(self) -> int:
+        """Shift right by ``q`` (floor), clip, return the ``n``-bit pattern."""
+        raw = self._acc.raw >> self.fmt.q  # arithmetic shift == floor
+        raw = max(self.fmt.int_min, min(self.fmt.int_max, raw))
+        return raw & self.fmt.mask
+
+    def accumulator_value(self) -> Fraction:
+        """Exact value held in the wide register."""
+        return self._acc.to_fraction()
+
+    def accumulator_bits_used(self) -> int:
+        """Two's-complement width of the current contents (vs eq. (3))."""
+        return self._acc.bits_used()

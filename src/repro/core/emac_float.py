@@ -1,0 +1,87 @@
+"""Floating-point EMAC — the paper's Fig. 4 datapath.
+
+Each input is decoded (with subnormal detection adjusting the hidden bit and
+exponent), significands are multiplied exactly, and the signed product is
+shifted into a fixed-point accumulator whose LSB sits at ``2**(2*min_scale)``
+— the weight of the smallest possible product bit (two subnormal LSBs).
+After the last accumulation the register is rounded once to the nearest
+representable float (round-to-nearest-even) and clipped at the maximum
+magnitude; the datapath never produces Inf or NaN.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..floatp.codec import decode, encode_exact
+from ..floatp.format import FloatFormat
+from .accumulator import ExactAccumulator
+from .emac_base import Emac
+
+__all__ = ["FloatEmac"]
+
+
+class FloatEmac(Emac):
+    """Exact MAC over :class:`~repro.floatp.format.FloatFormat` patterns."""
+
+    pipeline_depth = 3  # decode/multiply register, shift, accumulate register
+
+    def __init__(self, fmt: FloatFormat):
+        self.fmt = fmt
+        # Smallest product bit: (subnormal LSB)^2 = 2**(2 * min_scale).
+        self._acc = ExactAccumulator(lsb_exponent=2 * fmt.min_scale)
+        self.reset()
+
+    @property
+    def width(self) -> int:
+        """Input width ``n = 1 + we + wf``."""
+        return self.fmt.n
+
+    @property
+    def name(self) -> str:
+        """Format identifier."""
+        return "float"
+
+    # ------------------------------------------------------------------
+    def reset(self, bias_bits: int | None = None) -> None:
+        """Clear the accumulator; optionally preload a bias pattern."""
+        self._acc.reset(0)
+        if bias_bits is None:
+            return
+        d = decode(self.fmt, bias_bits)
+        if d.is_reserved:
+            raise ValueError("bias must be finite (no Inf/NaN in the datapath)")
+        if d.significand == 0:
+            return
+        term = -d.significand if d.sign else d.significand
+        self._acc.add_term(term, d.scale - self.fmt.wf)
+        self._acc.reset(self._acc.raw)  # preload does not count as a product
+
+    def step(self, weight_bits: int, activation_bits: int) -> None:
+        """Decode, multiply exactly, shift into the accumulator."""
+        dw = decode(self.fmt, weight_bits)
+        da = decode(self.fmt, activation_bits)
+        if dw.is_reserved or da.is_reserved:
+            raise ValueError("EMAC inputs must be finite (paper Section III-C)")
+        sig = dw.significand * da.significand
+        if sig == 0:
+            self._acc.add_term(0, self._acc.lsb_exponent)
+            return
+        sign = dw.sign ^ da.sign
+        exponent = (dw.scale - self.fmt.wf) + (da.scale - self.fmt.wf)
+        self._acc.add_term(-sig if sign else sig, exponent)
+
+    def result(self) -> int:
+        """Round the register once (RNE) and clamp at the max magnitude."""
+        sign, mag = self._acc.sign_and_magnitude()
+        if mag == 0:
+            return 0
+        return encode_exact(self.fmt, sign, mag, self._acc.lsb_exponent)
+
+    def accumulator_value(self) -> Fraction:
+        """Exact value held in the wide register."""
+        return self._acc.to_fraction()
+
+    def accumulator_bits_used(self) -> int:
+        """Two's-complement width of the current contents (vs eq. (3))."""
+        return self._acc.bits_used()

@@ -1,0 +1,127 @@
+"""Posit EMAC — the paper's Fig. 5 datapath (Algorithms 1 and 2).
+
+The implementation mirrors Algorithm 2's stages with named intermediates:
+
+* **Decode** (Algorithm 1) — sign / regime / exponent / fraction extraction,
+  with the significand left-aligned to the format's widest width so the
+  multiplier input is fixed-size (``1 + max_fraction_bits`` bits).
+* **Multiplication** — exact product of aligned significands; the combined
+  scale factor is ``sf_w + sf_a`` (overflow of the significand product past
+  the 2-integer-bit position is implicitly captured because we keep all
+  product bits rather than renormalizing, which is arithmetically identical
+  to Algorithm 2's ``ovf_mult`` adjustment).
+* **Accumulation** — the signed product is shifted left by the *biased*
+  scale factor ``sf + bias`` (``bias = 2**(es+1) * (n-2)``, making the
+  minimum shift zero — paper Section III-D) into the quire.
+* **Convergent rounding & encoding** — a single round-to-nearest-even of the
+  quire contents back to an ``n``-bit posit (Algorithm 2 lines 15-43),
+  delegated to :func:`repro.posit.encode.encode_exact`, which implements the
+  same guard/LSB/sticky increment in pattern space.
+
+Posits never overflow to NaR: results clamp at ``±maxpos``, and nonzero
+results below ``minpos`` clamp at ``±minpos``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..posit.decode import decode
+from ..posit.encode import encode_exact
+from ..posit.format import PositFormat
+from .accumulator import ExactAccumulator
+from .emac_base import Emac
+
+__all__ = ["PositEmac"]
+
+
+class PositEmac(Emac):
+    """Exact MAC over :class:`~repro.posit.format.PositFormat` patterns."""
+
+    pipeline_depth = 4  # decode, multiply, shift/accumulate, round/encode
+
+    def __init__(self, fmt: PositFormat):
+        self.fmt = fmt
+        # Quire LSB: the smallest bit of an aligned significand product.
+        # Aligned significands have max_fraction_bits fraction bits at scale
+        # >= min_scale, so products bottom out at
+        # 2**(2 * (min_scale - max_fraction_bits)).
+        self._quire = ExactAccumulator(
+            lsb_exponent=2 * (fmt.min_scale - fmt.max_fraction_bits)
+        )
+        self.reset()
+
+    @property
+    def width(self) -> int:
+        """Input width ``n``."""
+        return self.fmt.n
+
+    @property
+    def name(self) -> str:
+        """Format identifier."""
+        return "posit"
+
+    @property
+    def scale_bias(self) -> int:
+        """The Algorithm 2 scale-factor bias, ``2**(es+1) * (n-2)``."""
+        return self.fmt.scale_bias
+
+    # ------------------------------------------------------------------
+    def reset(self, bias_bits: int | None = None) -> None:
+        """Clear the quire; optionally preload a bias pattern."""
+        self._quire.reset(0)
+        if bias_bits is None:
+            return
+        d = decode(self.fmt, bias_bits)
+        if d.is_nar:
+            raise ValueError("bias must be a real posit (NaR rejected)")
+        if d.is_zero:
+            return
+        sig = d.significand_fixed  # aligned to max_fraction_bits
+        term = -sig if d.sign else sig
+        self._quire.reset(
+            term << self._term_shift(d.scale - self.fmt.max_fraction_bits)
+        )
+
+    def _term_shift(self, exponent: int) -> int:
+        """Shift aligning a term of weight ``2**exponent`` to the quire LSB.
+
+        Equals the Algorithm 2 biased shift: for a product with scale factor
+        ``sf``, ``exponent = sf - 2*max_fraction_bits`` and the shift is
+        ``sf + 2*max_scale = sf + scale_bias`` -- always >= 0.
+        """
+        return exponent - self._quire.lsb_exponent
+
+    def step(self, weight_bits: int, activation_bits: int) -> None:
+        """One Algorithm 2 iteration: decode, multiply, shift, accumulate."""
+        dw = decode(self.fmt, weight_bits)
+        da = decode(self.fmt, activation_bits)
+        if dw.is_nar or da.is_nar:
+            raise ValueError("EMAC inputs must be real posits (paper Section III-D)")
+        if dw.is_zero or da.is_zero:
+            self._quire.add_term(0, self._quire.lsb_exponent)
+            return
+        # Multiplication stage.
+        sign_mult = dw.sign ^ da.sign
+        frac_mult = dw.significand_fixed * da.significand_fixed
+        sf_mult = dw.scale + da.scale  # scale of the hidden-bit position
+        # Accumulation stage: fracs_mult shifted by the biased scale factor.
+        exponent = sf_mult - 2 * self.fmt.max_fraction_bits
+        sf_biased = self._term_shift(exponent)
+        assert sf_biased >= 0, "biased scale factor must be non-negative"
+        self._quire.add_term(-frac_mult if sign_mult else frac_mult, exponent)
+
+    def result(self) -> int:
+        """Convergent rounding & encoding of the quire (single rounding)."""
+        sign, mag = self._quire.sign_and_magnitude()
+        if mag == 0:
+            return self.fmt.zero_pattern
+        return encode_exact(self.fmt, sign, mag, self._quire.lsb_exponent)
+
+    def accumulator_value(self) -> Fraction:
+        """Exact value held in the quire."""
+        return self._quire.to_fraction()
+
+    def quire_bits_used(self) -> int:
+        """Two's-complement width of the current quire contents (vs eq. (4))."""
+        return self._quire.bits_used()

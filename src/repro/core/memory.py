@@ -1,0 +1,72 @@
+"""Local parameter memory model.
+
+Deep Positron stores each layer's weights and biases in dedicated on-chip
+memory blocks next to the EMACs, avoiding off-chip DRAM accesses during
+inference (paper Section III-E; the introduction's 128 W DRAM estimate is
+the motivating counterexample).  This module sizes those memories and
+converts them to Virtex-7 BRAM block counts for the resource reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+__all__ = ["LayerMemory", "BRAM_KBITS"]
+
+#: Capacity of one Virtex-7 block RAM tile in kilobits (RAMB18).
+BRAM_KBITS = 18
+
+
+@dataclass(frozen=True)
+class LayerMemory:
+    """Parameter storage of one layer.
+
+    Attributes
+    ----------
+    weight_words / bias_words:
+        Number of stored parameters.
+    word_bits:
+        Width of each word — the format width ``n``.
+    """
+
+    weight_words: int
+    bias_words: int
+    word_bits: int
+
+    @classmethod
+    def for_layer(cls, out_features: int, in_features: int, word_bits: int) -> "LayerMemory":
+        """Memory for a dense ``(out, in)`` layer with per-neuron biases."""
+        if out_features < 1 or in_features < 1:
+            raise ValueError("layer dimensions must be positive")
+        if word_bits < 1:
+            raise ValueError("word width must be positive")
+        return cls(
+            weight_words=out_features * in_features,
+            bias_words=out_features,
+            word_bits=word_bits,
+        )
+
+    @property
+    def total_words(self) -> int:
+        """All stored parameters."""
+        return self.weight_words + self.bias_words
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage in bits."""
+        return self.total_words * self.word_bits
+
+    @property
+    def bram_blocks(self) -> int:
+        """RAMB18 tiles needed (capacity-bound estimate)."""
+        return max(1, math.ceil(self.total_bits / (BRAM_KBITS * 1024)))
+
+    def __add__(self, other: "LayerMemory") -> "LayerMemory":
+        if self.word_bits != other.word_bits:
+            raise ValueError("cannot add memories of different word widths")
+        return LayerMemory(
+            weight_words=self.weight_words + other.weight_words,
+            bias_words=self.bias_words + other.bias_words,
+            word_bits=self.word_bits,
+        )

@@ -1,0 +1,237 @@
+"""Deep Positron — the paper's DNN inference architecture (Fig. 1).
+
+A :class:`PositronNetwork` is a sequence of :class:`PositronLayer` objects.
+Each layer owns local weight and bias memories holding *bit patterns* of the
+network's numerical format, and computes every neuron with an exact
+multiply-and-accumulate: products of the low-precision inputs are
+accumulated exactly and rounded once back to the ``n``-bit format.  Hidden
+layers apply ReLU (exact on patterns: negative -> zero); the readout layer
+is affine ("identity" activation), and classification takes the argmax of
+the decoded outputs.
+
+Two execution paths produce identical bits:
+
+* :meth:`PositronLayer.forward` — the vectorized engine (production path);
+* :meth:`PositronLayer.forward_scalar` — one scalar EMAC per neuron, used to
+  validate the engine and to emulate the hardware datapath one MAC per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..fixedpoint.format import FixedFormat
+from ..floatp.format import FloatFormat
+from ..posit.format import PositFormat
+from .control import InferenceTiming, network_timing
+from .emac_base import Emac
+from .emac_fixed import FixedEmac
+from .emac_float import FloatEmac
+from .emac_posit import PositEmac
+from .memory import LayerMemory
+from .vector import VectorEngine, engine_for
+
+__all__ = ["PositronLayer", "PositronNetwork", "Activation", "scalar_emac_for"]
+
+Activation = str  # "relu" | "identity"
+_ACTIVATIONS = ("relu", "identity")
+
+
+def scalar_emac_for(fmt) -> Emac:
+    """Reference scalar EMAC for any supported format."""
+    if isinstance(fmt, PositFormat):
+        return PositEmac(fmt)
+    if isinstance(fmt, FloatFormat):
+        return FloatEmac(fmt)
+    if isinstance(fmt, FixedFormat):
+        return FixedEmac(fmt)
+    raise TypeError(f"no EMAC for {type(fmt).__name__}")
+
+
+@dataclass
+class PositronLayer:
+    """One fully connected layer with per-neuron EMACs and local memories.
+
+    Attributes
+    ----------
+    fmt:
+        Numerical format shared by weights, bias, inputs, and outputs.
+    weights:
+        ``(out, in)`` uint32 array of weight patterns.
+    bias:
+        ``(out,)`` uint32 array of bias patterns.
+    activation:
+        ``"relu"`` for hidden layers, ``"identity"`` for the readout.
+    engine:
+        The vectorized EMAC engine (shared across layers of one network).
+    """
+
+    fmt: object
+    weights: np.ndarray
+    bias: np.ndarray
+    activation: Activation
+    engine: VectorEngine
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.uint32)
+        self.bias = np.asarray(self.bias, dtype=np.uint32)
+        if self.weights.ndim != 2:
+            raise ValueError("weights must be (out, in)")
+        if self.bias.shape != (self.weights.shape[0],):
+            raise ValueError("bias shape must match the output dimension")
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(f"activation must be one of {_ACTIVATIONS}")
+
+    @property
+    def in_features(self) -> int:
+        """Fan-in ``k`` of each neuron's EMAC."""
+        return self.weights.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        """Number of neurons (EMAC units) in the layer."""
+        return self.weights.shape[0]
+
+    @property
+    def memory(self) -> LayerMemory:
+        """Local memory footprint of this layer's parameters."""
+        return LayerMemory.for_layer(
+            self.out_features, self.in_features, self.engine.width
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, patterns: np.ndarray) -> np.ndarray:
+        """Vectorized exact forward pass on ``(batch, in)`` patterns."""
+        out = self.engine.dot(self.weights, patterns, self.bias)
+        if self.activation == "relu":
+            out = self.engine.relu(out)
+        return out
+
+    def forward_scalar(self, patterns: Sequence[int]) -> list[int]:
+        """One-sample reference path: one scalar EMAC per neuron."""
+        emac = scalar_emac_for(self.fmt)
+        outputs = []
+        for o in range(self.out_features):
+            bits = emac.dot(
+                [int(w) for w in self.weights[o]],
+                [int(p) for p in patterns],
+                bias_bits=int(self.bias[o]),
+            )
+            outputs.append(bits)
+        if self.activation == "relu":
+            outputs = [
+                int(self.engine.relu(np.array([b], dtype=np.uint32))[0])
+                for b in outputs
+            ]
+        return outputs
+
+
+class PositronNetwork:
+    """A Deep Positron inference network.
+
+    Build one with :meth:`from_arrays` (pattern arrays) or
+    :meth:`from_float_params` (trained float parameters, quantized here).
+    """
+
+    def __init__(self, fmt, layers: Sequence[PositronLayer]):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        for first, second in zip(layers, layers[1:]):
+            if first.out_features != second.in_features:
+                raise ValueError(
+                    f"layer size mismatch: {first.out_features} -> "
+                    f"{second.in_features}"
+                )
+        self.fmt = fmt
+        self.layers = list(layers)
+        self.engine = layers[0].engine
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        fmt,
+        weight_arrays: Sequence[np.ndarray],
+        bias_arrays: Sequence[np.ndarray],
+        engine: VectorEngine | None = None,
+    ) -> "PositronNetwork":
+        """Assemble from pattern arrays; last layer gets identity activation."""
+        if len(weight_arrays) != len(bias_arrays):
+            raise ValueError("need one bias array per weight array")
+        engine = engine or engine_for(fmt)
+        layers = []
+        last = len(weight_arrays) - 1
+        for i, (w, b) in enumerate(zip(weight_arrays, bias_arrays)):
+            activation = "identity" if i == last else "relu"
+            layers.append(PositronLayer(fmt, w, b, activation, engine))
+        return cls(fmt, layers)
+
+    @classmethod
+    def from_float_params(
+        cls,
+        fmt,
+        weight_arrays: Sequence[np.ndarray],
+        bias_arrays: Sequence[np.ndarray],
+    ) -> "PositronNetwork":
+        """Quantize trained float parameters into a Deep Positron network."""
+        engine = engine_for(fmt)
+        weights = [engine.quantize(np.asarray(w)) for w in weight_arrays]
+        biases = [engine.quantize(np.asarray(b)) for b in bias_arrays]
+        return cls.from_arrays(fmt, weights, biases, engine=engine)
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> tuple[int, ...]:
+        """(inputs, hidden..., outputs) neuron counts."""
+        return (self.layers[0].in_features,) + tuple(
+            layer.out_features for layer in self.layers
+        )
+
+    def forward_patterns(self, patterns: np.ndarray) -> np.ndarray:
+        """Exact forward pass: ``(batch, in)`` patterns -> output patterns."""
+        out = np.asarray(patterns, dtype=np.uint32)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def forward_scalar(self, patterns: Sequence[int]) -> list[int]:
+        """Single-sample reference forward pass through scalar EMACs."""
+        current = [int(p) for p in patterns]
+        for layer in self.layers:
+            current = layer.forward_scalar(current)
+        return current
+
+    def forward_values(self, inputs: np.ndarray) -> np.ndarray:
+        """Quantize float inputs, run exactly, decode outputs to float64."""
+        patterns = self.engine.quantize(np.asarray(inputs, dtype=np.float64))
+        return self.engine.decode_values(self.forward_patterns(patterns))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class prediction: argmax of the decoded readout activations."""
+        return np.argmax(self.forward_values(inputs), axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on float inputs."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(inputs) == labels))
+
+    # ------------------------------------------------------------------
+    def timing(self) -> InferenceTiming:
+        """Streaming dataflow timing of one inference (cycles)."""
+        emac = scalar_emac_for(self.fmt)
+        return network_timing(
+            [layer.in_features for layer in self.layers], emac.pipeline_depth
+        )
+
+    def total_memory_bits(self) -> int:
+        """Sum of all layers' local parameter memories, in bits."""
+        return sum(layer.memory.total_bits for layer in self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        topo = "-".join(str(t) for t in self.topology)
+        return f"PositronNetwork({self.fmt}, topology={topo})"

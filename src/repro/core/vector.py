@@ -1,0 +1,332 @@
+"""Vectorized exact EMAC engines.
+
+Running Table II's experiments needs millions of exact MACs, far too many
+for the scalar reference cores.  These engines compute *bit-identical*
+results with numpy:
+
+* every pattern's signed aligned significand and non-negative shift
+  (``scale - min_scale``) come from the format's decode tables;
+* each product term ``(+-sig_w * +-sig_a) << ((shift_w + shift_a) % L)`` fits
+  comfortably in an int64 limb; the limb index is ``shift // L``;
+* per-(sample, neuron) limb sums are formed with one ``np.bincount`` over a
+  flattened composite index (partial sums stay below 2**53, so staging
+  through float64 is exact);
+* limbs are combined into exact Python integers and rounded once via the
+  same ``encode_exact`` the scalar cores use.
+
+The fixed-point engine is simpler: an int64 matmul is already exact at the
+paper's widths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..fixedpoint import codec as fx
+from ..fixedpoint.format import FixedFormat
+from ..floatp import tables as ft
+from ..floatp.codec import encode_exact as float_encode_exact
+from ..floatp.format import FloatFormat
+from ..posit import tables as pt
+from ..posit.encode import encode_exact as posit_encode_exact
+from ..posit.format import PositFormat
+from .accumulator import LIMB_BITS, combine_limbs
+
+__all__ = [
+    "VectorEngine",
+    "FixedVectorEngine",
+    "FloatVectorEngine",
+    "PositVectorEngine",
+    "engine_for",
+]
+
+#: Soft cap on the size of the (chunk, out, in) intermediate term tensors.
+_CHUNK_ELEMENTS = 4_000_000
+
+
+class VectorEngine(ABC):
+    """Format-generic vectorized EMAC layer engine.
+
+    All tensors of patterns are uint32 numpy arrays.  ``dot`` computes, for
+    every (sample, output neuron) pair, the exact dot product of an input row
+    with a weight row plus bias, rounded once — the same contract as running
+    one scalar EMAC per output neuron.
+    """
+
+    @property
+    @abstractmethod
+    def width(self) -> int:
+        """Input pattern width in bits."""
+
+    @abstractmethod
+    def dot(
+        self,
+        weights: np.ndarray,
+        activations: np.ndarray,
+        bias: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """(out, in) weights x (batch, in) activations -> (batch, out)."""
+
+    @abstractmethod
+    def relu(self, patterns: np.ndarray) -> np.ndarray:
+        """Elementwise ReLU on patterns (negatives -> zero pattern)."""
+
+    @abstractmethod
+    def decode_values(self, patterns: np.ndarray) -> np.ndarray:
+        """Patterns -> float64 values (diagnostics / readout)."""
+
+    @abstractmethod
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """float array -> nearest patterns (uint32)."""
+
+
+def _validate_shapes(weights: np.ndarray, activations: np.ndarray, bias) -> None:
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D (out, in); got shape {weights.shape}")
+    if activations.ndim != 2:
+        raise ValueError(
+            f"activations must be 2-D (batch, in); got shape {activations.shape}"
+        )
+    if weights.shape[1] != activations.shape[1]:
+        raise ValueError(
+            f"fan-in mismatch: weights {weights.shape} vs activations "
+            f"{activations.shape}"
+        )
+    if bias is not None and bias.shape != (weights.shape[0],):
+        raise ValueError(f"bias must have shape ({weights.shape[0]},)")
+
+
+class FixedVectorEngine(VectorEngine):
+    """Exact fixed-point dot products via int64 matmul (Fig. 3 semantics)."""
+
+    def __init__(self, fmt: FixedFormat):
+        if fmt.n > 16:
+            raise ValueError("vector engine supports n <= 16")
+        self.fmt = fmt
+
+    @property
+    def width(self) -> int:
+        """Input width ``n``."""
+        return self.fmt.n
+
+    def dot(self, weights, activations, bias=None):
+        """Accumulate exactly in int64, then shift-truncate-clip."""
+        weights = np.asarray(weights, dtype=np.uint32)
+        activations = np.asarray(activations, dtype=np.uint32)
+        _validate_shapes(weights, activations, bias)
+        w = fx.signed_array(self.fmt, weights)  # (out, in)
+        a = fx.signed_array(self.fmt, activations)  # (batch, in)
+        acc = a @ w.T  # (batch, out); exact: |terms| < 2**(2n-2), k < 2**20
+        if bias is not None:
+            b = fx.signed_array(self.fmt, np.asarray(bias, dtype=np.uint32))
+            acc = acc + (b << self.fmt.q)[None, :]
+        out = acc >> self.fmt.q  # arithmetic shift = floor, as in the paper
+        out = np.clip(out, self.fmt.int_min, self.fmt.int_max)
+        return (out & self.fmt.mask).astype(np.uint32)
+
+    def relu(self, patterns):
+        """Negative patterns -> 0."""
+        return fx.relu_patterns(self.fmt, patterns)
+
+    def decode_values(self, patterns):
+        """Patterns -> float64."""
+        return fx.dequantize_array(self.fmt, patterns)
+
+    def quantize(self, values):
+        """float64 -> patterns (RNE, saturating)."""
+        return fx.quantize_array(self.fmt, values)
+
+
+class _LimbEngine(VectorEngine):
+    """Shared limb-accumulation machinery for posit and float engines."""
+
+    #: Per-pattern arrays, filled by subclasses.
+    _signed_sig: np.ndarray  # int64: (-1)**sign * aligned significand
+    _shift: np.ndarray  # int64: scale - min_scale (>= 0)
+    _relu: np.ndarray
+    _float_value: np.ndarray
+    _invalid: np.ndarray  # bool: patterns the datapath must never see
+
+    #: Quire/accumulator LSB exponent and shift of a *term* with
+    #: shift_w == shift_a == 0 (i.e. exponent of sig_w*sig_a at min scales).
+    _lsb_exponent: int
+
+    def __init__(self, max_shift: int, sig_bits: int):
+        max_term_bits = 2 * sig_bits + LIMB_BITS
+        if max_term_bits > 62:
+            raise ValueError("significand products too wide for int64 limbs")
+        self._num_limbs = (max_shift + max_term_bits) // LIMB_BITS + 2
+
+    # -- subclass hooks -------------------------------------------------
+    @abstractmethod
+    def _encode(self, sign: int, magnitude: int) -> int:
+        """Round |quire| * 2**lsb_exponent to an output pattern."""
+
+    # -- shared ---------------------------------------------------------
+    def _check_patterns(self, patterns: np.ndarray, what: str) -> np.ndarray:
+        p = np.asarray(patterns, dtype=np.int64)
+        if p.size and (p.min() < 0 or p.max() >= self._signed_sig.shape[0]):
+            raise ValueError(f"{what} pattern out of range")
+        if np.any(self._invalid[p]):
+            raise ValueError(f"{what} contains NaR/reserved patterns")
+        return p
+
+    def dot(self, weights, activations, bias=None):
+        """Exact limb-accumulated dot products, rounded once per output."""
+        weights = np.asarray(weights, dtype=np.uint32)
+        activations = np.asarray(activations, dtype=np.uint32)
+        _validate_shapes(weights, activations, bias)
+        wp = self._check_patterns(weights, "weights")
+        ap = self._check_patterns(activations, "activations")
+
+        out_dim, in_dim = wp.shape
+        batch = ap.shape[0]
+        L = self._num_limbs
+
+        sig_w = self._signed_sig[wp]  # (out, in)
+        sh_w = self._shift[wp]
+        sig_a = self._signed_sig[ap]  # (batch, in)
+        sh_a = self._shift[ap]
+
+        bias_quire = self._bias_quires(bias, out_dim)
+
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, out_dim * in_dim))
+        out = np.empty((batch, out_dim), dtype=np.uint32)
+        for start in range(0, batch, chunk):
+            stop = min(batch, start + chunk)
+            nb = stop - start
+            # (nb, out, in) term tensors.
+            term = sig_a[start:stop, None, :] * sig_w[None, :, :]
+            shift = sh_a[start:stop, None, :] + sh_w[None, :, :]
+            limb = shift // LIMB_BITS
+            rem = shift - limb * LIMB_BITS
+            term <<= rem
+            # Composite index (sample, neuron, limb) -> flat bincount.
+            base = np.arange(nb * out_dim, dtype=np.int64).reshape(nb, out_dim)
+            flat = (base[:, :, None] * L + limb).ravel()
+            sums = np.bincount(
+                flat, weights=term.ravel().astype(np.float64), minlength=nb * out_dim * L
+            )
+            limbs = sums.astype(np.int64).reshape(nb, out_dim, L)
+            for i in range(nb):
+                for o in range(out_dim):
+                    quire = combine_limbs(limbs[i, o]) + bias_quire[o]
+                    if quire == 0:
+                        out[start + i, o] = self._zero_pattern
+                    elif quire < 0:
+                        out[start + i, o] = self._encode(1, -quire)
+                    else:
+                        out[start + i, o] = self._encode(0, quire)
+        return out
+
+    def _bias_quires(self, bias, out_dim: int) -> list[int]:
+        """Exact quire-aligned integer for each bias pattern."""
+        if bias is None:
+            return [0] * out_dim
+        bp = self._check_patterns(np.asarray(bias, dtype=np.uint32), "bias")
+        quires = []
+        for pattern in bp:
+            sig = int(self._signed_sig[pattern])
+            shift = int(self._shift[pattern]) + self._bias_extra_shift
+            quires.append(sig << shift)
+        return quires
+
+    #: Extra left shift aligning a single *input* (not product) to the quire:
+    #: inputs sit one min_scale and one significand-width above the quire LSB.
+    _bias_extra_shift: int
+    _zero_pattern: int
+
+    def relu(self, patterns):
+        """Table-driven ReLU."""
+        return self._relu[np.asarray(patterns, dtype=np.int64)].astype(np.uint32)
+
+    def decode_values(self, patterns):
+        """Table-driven decode to float64."""
+        return self._float_value[np.asarray(patterns, dtype=np.int64)]
+
+
+class PositVectorEngine(_LimbEngine):
+    """Exact posit dot products (Fig. 5 / Algorithm 2 semantics)."""
+
+    def __init__(self, fmt: PositFormat):
+        self.fmt = fmt
+        t = pt.tables_for(fmt)
+        sig_bits = fmt.significand_bits
+        max_shift = 4 * fmt.max_scale  # (scale-min)*2 at both maxima
+        super().__init__(max_shift=max_shift, sig_bits=sig_bits)
+        sign = t.sign.astype(np.int64)
+        self._signed_sig = np.where(sign == 1, -t.significand, t.significand)
+        self._shift = (t.scale.astype(np.int64) - fmt.min_scale) * ~(
+            t.is_zero | t.is_nar
+        )
+        self._relu = t.relu.astype(np.int64)
+        self._float_value = t.float_value
+        self._invalid = t.is_nar
+        # Quire LSB: product of two minimum-scale aligned significands.
+        self._lsb_exponent = 2 * (fmt.min_scale - fmt.max_fraction_bits)
+        # An input value sig * 2**(scale - max_frac): shift over quire LSB is
+        # (scale - min_scale) + (min_scale - max_frac) - lsb
+        #   = shift + (max_frac - 2*min_scale + 2*min_scale ... ) simplified:
+        self._bias_extra_shift = fmt.max_fraction_bits - fmt.min_scale
+        self._zero_pattern = fmt.zero_pattern
+
+    @property
+    def width(self) -> int:
+        """Input width ``n``."""
+        return self.fmt.n
+
+    def _encode(self, sign: int, magnitude: int) -> int:
+        return posit_encode_exact(self.fmt, sign, magnitude, self._lsb_exponent)
+
+    def quantize(self, values):
+        """float64 -> nearest posit patterns."""
+        return pt.quantize_array(self.fmt, values)
+
+
+class FloatVectorEngine(_LimbEngine):
+    """Exact small-float dot products (Fig. 4 semantics)."""
+
+    def __init__(self, fmt: FloatFormat):
+        self.fmt = fmt
+        t = ft.tables_for(fmt)
+        sig_bits = fmt.wf + 1
+        # shift = scale - (1 - bias) per operand; max 2*(max_scale - min normal scale)
+        max_shift = 2 * (fmt.max_scale - (1 - fmt.bias))
+        super().__init__(max_shift=max_shift, sig_bits=sig_bits)
+        sign = t.sign.astype(np.int64)
+        self._signed_sig = np.where(sign == 1, -t.significand, t.significand)
+        self._shift = (t.scale.astype(np.int64) - (1 - fmt.bias)).clip(min=0)
+        self._relu = t.relu.astype(np.int64)
+        self._float_value = t.float_value
+        self._invalid = t.is_reserved
+        # Quire LSB: product of two subnormal LSBs = 2**(2 * min_scale).
+        self._lsb_exponent = 2 * fmt.min_scale
+        # Input value = sig * 2**(scale - wf); over the quire LSB:
+        # (scale - (1-bias)) + ((1-bias) - wf - 2*min_scale) = shift + extra.
+        self._bias_extra_shift = (1 - fmt.bias) - fmt.wf - 2 * fmt.min_scale
+        self._zero_pattern = 0
+
+    @property
+    def width(self) -> int:
+        """Input width ``n = 1 + we + wf``."""
+        return self.fmt.n
+
+    def _encode(self, sign: int, magnitude: int) -> int:
+        return float_encode_exact(self.fmt, sign, magnitude, self._lsb_exponent)
+
+    def quantize(self, values):
+        """float64 -> nearest float patterns."""
+        return ft.quantize_array(self.fmt, values)
+
+
+def engine_for(fmt) -> VectorEngine:
+    """Engine factory dispatching on the format type."""
+    if isinstance(fmt, PositFormat):
+        return PositVectorEngine(fmt)
+    if isinstance(fmt, FloatFormat):
+        return FloatVectorEngine(fmt)
+    if isinstance(fmt, FixedFormat):
+        return FixedVectorEngine(fmt)
+    raise TypeError(f"no vector engine for {type(fmt).__name__}")

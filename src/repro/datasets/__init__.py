@@ -1,0 +1,34 @@
+"""The paper's three evaluation datasets (seeded generators).
+
+Each loader returns a :class:`~repro.datasets.splits.Dataset` with exactly
+the paper's inference (test) sizes: WBC 190, Iris 50, Mushroom 2708.  See
+DESIGN.md §4 for the documented substitutions.
+"""
+
+from .splits import Dataset, one_hot, standardize, stratified_split
+from .iris import IRIS_CLASS_STATS, load_iris
+from .wbc import WBC_BENIGN, WBC_FEATURES, WBC_MALIGNANT, load_wbc
+from .mushroom import MUSHROOM_CARDINALITIES, MUSHROOM_TOTAL, load_mushroom
+
+__all__ = [
+    "Dataset",
+    "stratified_split",
+    "standardize",
+    "one_hot",
+    "load_iris",
+    "IRIS_CLASS_STATS",
+    "load_wbc",
+    "WBC_BENIGN",
+    "WBC_MALIGNANT",
+    "WBC_FEATURES",
+    "load_mushroom",
+    "MUSHROOM_CARDINALITIES",
+    "MUSHROOM_TOTAL",
+]
+
+#: Loader registry used by the sweeps and benchmarks.
+LOADERS = {
+    "wbc": load_wbc,
+    "iris": load_iris,
+    "mushroom": load_mushroom,
+}

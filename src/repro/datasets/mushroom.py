@@ -1,0 +1,112 @@
+"""Mushroom equivalent (paper Table II row 3: inference size 2708).
+
+Substitution note (see DESIGN.md): the UCI Mushroom corpus [Schlimmer 1987]
+has 8124 samples and 22 categorical attributes, one-hot encoded for MLP
+input; it is almost perfectly separable (odor alone classifies ~98.5%).  We
+reproduce that structure: 22 categorical attributes with the real corpus's
+cardinalities, a dominant "odor"-style attribute whose categories are
+strongly class-conditional, several weakly informative attributes, pure
+noise attributes, and a small label-flip rate so the float32 ceiling lands
+near the paper's 96.8% baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .splits import Dataset, one_hot, stratified_split
+
+__all__ = ["load_mushroom", "MUSHROOM_CARDINALITIES", "MUSHROOM_TOTAL"]
+
+#: Cardinalities of the 22 attributes in the real corpus (cap-shape ...
+#: habitat).  One-hot width = sum = 117 columns.
+MUSHROOM_CARDINALITIES: tuple[int, ...] = (
+    6, 4, 10, 2, 9, 2, 2, 2, 12, 2, 5, 4, 4, 9, 9, 1, 4, 3, 5, 9, 6, 7
+)
+
+#: Real corpus size (4208 edible / 3916 poisonous).
+MUSHROOM_TOTAL = 8124
+_EDIBLE = 4208
+_POISONOUS = 3916
+
+#: Index of the dominant attribute ("odor", cardinality 9 in the real data).
+_DOMINANT_ATTR = 4
+#: Weakly informative attributes (spore print color, gill color, ...).
+_WEAK_ATTRS = (8, 19, 2, 10)
+#: Probability a sample's dominant attribute is drawn from the *other*
+#: class's category distribution, plus outright label noise — together these
+#: set the Bayes ceiling near the paper's 96.8% float baseline.
+_DOMINANT_CONFUSION = 0.022
+_LABEL_NOISE = 0.008
+
+
+def _class_category_bias(
+    rng: np.random.Generator, cardinality: int, sharpness: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two class-conditional categorical distributions over one attribute.
+
+    ``sharpness`` near 1 gives the classes (nearly) disjoint category
+    support — the first half of the categories belongs to class 0, the
+    second half to class 1, with ``1 - sharpness`` mass leaking across.
+    Near 0 the distributions coincide (uninformative).
+    """
+    if cardinality < 2:
+        raise ValueError("cardinality must be >= 2")
+    half = cardinality // 2
+    own0 = np.zeros(cardinality)
+    own0[:half] = rng.dirichlet(np.ones(half))
+    own1 = np.zeros(cardinality)
+    own1[half:] = rng.dirichlet(np.ones(cardinality - half))
+    shared = rng.dirichlet(np.ones(cardinality))
+    p0 = sharpness * own0 + (1 - sharpness) * shared
+    p1 = sharpness * own1 + (1 - sharpness) * shared
+    return p0 / p0.sum(), p1 / p1.sum()
+
+
+def load_mushroom(seed: int = 23, test_size: int = 2708) -> Dataset:
+    """Generate the Mushroom-equivalent dataset with the paper's sizes."""
+    rng = np.random.default_rng(seed)
+    labels = np.concatenate(
+        [np.zeros(_EDIBLE, dtype=np.int64), np.ones(_POISONOUS, dtype=np.int64)]
+    )
+    rng.shuffle(labels)
+    rows = len(labels)
+
+    categorical = np.zeros((rows, len(MUSHROOM_CARDINALITIES)), dtype=np.int64)
+    for attr, card in enumerate(MUSHROOM_CARDINALITIES):
+        if card == 1:
+            continue  # veil-type is constant in the real corpus too
+        if attr == _DOMINANT_ATTR:
+            sharpness = 0.985
+        elif attr in _WEAK_ATTRS:
+            sharpness = 0.35
+        else:
+            sharpness = 0.0
+        p0, p1 = _class_category_bias(rng, card, sharpness)
+        # Occasionally sample from the opposite class's distribution.
+        confused = rng.random(rows) < (
+            _DOMINANT_CONFUSION if attr == _DOMINANT_ATTR else 0.0
+        )
+        effective = np.where(confused, 1 - labels, labels)
+        draws0 = rng.choice(card, size=rows, p=p0)
+        draws1 = rng.choice(card, size=rows, p=p1)
+        categorical[:, attr] = np.where(effective == 1, draws1, draws0)
+
+    noisy = labels.copy()
+    flips = rng.random(rows) < _LABEL_NOISE
+    noisy[flips] = 1 - noisy[flips]
+
+    features = one_hot(categorical, list(MUSHROOM_CARDINALITIES))
+    train_x, train_y, test_x, test_y = stratified_split(
+        features, noisy, test_size, rng
+    )
+    dataset = Dataset(
+        name="mushroom",
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        class_names=("edible", "poisonous"),
+    )
+    dataset.validate()
+    return dataset

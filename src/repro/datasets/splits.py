@@ -1,0 +1,120 @@
+"""Deterministic dataset utilities: stratified splits and standardization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "stratified_split", "standardize", "one_hot"]
+
+
+@dataclass
+class Dataset:
+    """A ready-to-train classification dataset.
+
+    ``train_x``/``test_x`` are float64 feature matrices (already
+    preprocessed); labels are int64 class indices.  ``test_x`` has exactly
+    the paper's "inference size" rows for the three evaluation datasets.
+    """
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    class_names: tuple[str, ...]
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimensionality."""
+        return self.train_x.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of target classes."""
+        return len(self.class_names)
+
+    @property
+    def inference_size(self) -> int:
+        """Paper terminology for the test-set size."""
+        return len(self.test_y)
+
+    def validate(self) -> None:
+        """Internal consistency checks (shapes, label ranges, finiteness)."""
+        if self.train_x.ndim != 2 or self.test_x.ndim != 2:
+            raise ValueError("feature matrices must be 2-D")
+        if self.train_x.shape[1] != self.test_x.shape[1]:
+            raise ValueError("train/test feature dimensionality mismatch")
+        if len(self.train_x) != len(self.train_y) or len(self.test_x) != len(self.test_y):
+            raise ValueError("feature/label length mismatch")
+        labels = np.concatenate([self.train_y, self.test_y])
+        if labels.min() < 0 or labels.max() >= self.num_classes:
+            raise ValueError("label out of range")
+        if not (np.all(np.isfinite(self.train_x)) and np.all(np.isfinite(self.test_x))):
+            raise ValueError("non-finite features")
+
+
+def stratified_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_size: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into train/test keeping class proportions, exact test size.
+
+    Per-class test counts are apportioned by the largest-remainder method so
+    the test set has exactly ``test_size`` rows.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels, dtype=np.int64)
+    total = len(labels)
+    if not 0 < test_size < total:
+        raise ValueError(f"test_size must be in (0, {total})")
+
+    classes, counts = np.unique(labels, return_counts=True)
+    exact = counts * (test_size / total)
+    base = np.floor(exact).astype(np.int64)
+    remainder = test_size - base.sum()
+    order = np.argsort(-(exact - base), kind="stable")
+    base[order[:remainder]] += 1
+
+    test_idx = []
+    for cls, take in zip(classes, base):
+        members = np.nonzero(labels == cls)[0]
+        picked = rng.permutation(members)[:take]
+        test_idx.append(picked)
+    test_idx = np.sort(np.concatenate(test_idx))
+    mask = np.zeros(total, dtype=bool)
+    mask[test_idx] = True
+    return features[~mask], labels[~mask], features[mask], labels[mask]
+
+
+def standardize(
+    train_x: np.ndarray, test_x: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Z-score both splits using training statistics only."""
+    mean = train_x.mean(axis=0)
+    std = train_x.std(axis=0)
+    std = np.where(std < 1e-9, 1.0, std)
+    return (train_x - mean) / std, (test_x - mean) / std
+
+
+def one_hot(categorical: np.ndarray, cardinalities: list[int]) -> np.ndarray:
+    """One-hot encode integer categorical columns.
+
+    ``categorical`` is ``(rows, attrs)`` with column ``j`` taking values in
+    ``[0, cardinalities[j])``.
+    """
+    categorical = np.asarray(categorical, dtype=np.int64)
+    if categorical.ndim != 2 or categorical.shape[1] != len(cardinalities):
+        raise ValueError("categorical matrix/cardinality mismatch")
+    columns = []
+    for j, card in enumerate(cardinalities):
+        col = categorical[:, j]
+        if col.min() < 0 or col.max() >= card:
+            raise ValueError(f"column {j} exceeds its cardinality {card}")
+        block = np.zeros((len(col), card), dtype=np.float64)
+        block[np.arange(len(col)), col] = 1.0
+        columns.append(block)
+    return np.concatenate(columns, axis=1)

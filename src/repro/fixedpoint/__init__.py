@@ -1,0 +1,31 @@
+"""Q-format fixed-point arithmetic (n total bits, q fraction bits).
+
+Two's-complement patterns, saturating scalar :class:`Fixed` values, RNE
+quantization for parameters and the paper's shift-and-truncate semantics for
+the EMAC output stage, plus vector helpers.
+"""
+
+from .format import FixedFormat, fixed_format, q8_4, q8_7
+from .value import Fixed, quantize_floor, quantize_rne
+from .codec import (
+    dequantize_array,
+    pattern_array,
+    quantize_array,
+    relu_patterns,
+    signed_array,
+)
+
+__all__ = [
+    "FixedFormat",
+    "fixed_format",
+    "q8_4",
+    "q8_7",
+    "Fixed",
+    "quantize_rne",
+    "quantize_floor",
+    "quantize_array",
+    "dequantize_array",
+    "signed_array",
+    "pattern_array",
+    "relu_patterns",
+]

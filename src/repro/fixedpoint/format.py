@@ -1,0 +1,120 @@
+"""Q-format fixed-point descriptor.
+
+The paper's fixed-point EMAC (Fig. 3) takes ``n``-bit two's-complement
+inputs with ``q`` fraction bits and ``n - q`` integer bits (sign included).
+``max = (2**(n-1) - 1) / 2**q`` and ``min`` (smallest positive step) is
+``2**-q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+import math
+
+__all__ = ["FixedFormat", "fixed_format", "q8_4", "q8_7"]
+
+
+@dataclass(frozen=True)
+class FixedFormat:
+    """Immutable descriptor of an ``n``-bit, ``q``-fraction-bit format."""
+
+    n: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or not isinstance(self.q, int):
+            raise TypeError("n and q must be integers")
+        if self.n < 2:
+            raise ValueError(f"fixed-point width must be >= 2 (got {self.n})")
+        if not 0 <= self.q <= self.n - 1:
+            raise ValueError(f"q must be in [0, n-1] (got q={self.q}, n={self.n})")
+
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        """All-ones mask of width ``n``."""
+        return (1 << self.n) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        """Mask selecting the sign bit."""
+        return 1 << (self.n - 1)
+
+    @property
+    def num_patterns(self) -> int:
+        """Total number of bit patterns."""
+        return 1 << self.n
+
+    @property
+    def int_max(self) -> int:
+        """Largest raw integer, ``2**(n-1) - 1``."""
+        return (1 << (self.n - 1)) - 1
+
+    @property
+    def int_min(self) -> int:
+        """Smallest raw integer, ``-2**(n-1)``."""
+        return -(1 << (self.n - 1))
+
+    @property
+    def max_value(self) -> Fraction:
+        """Largest representable value."""
+        return Fraction(self.int_max, 1 << self.q)
+
+    @property
+    def min_value(self) -> Fraction:
+        """Smallest positive representable value, ``2**-q``."""
+        return Fraction(1, 1 << self.q)
+
+    @property
+    def lowest_value(self) -> Fraction:
+        """Most negative representable value."""
+        return Fraction(self.int_min, 1 << self.q)
+
+    @property
+    def dynamic_range(self) -> float:
+        """``log10(max / min)`` as used by the paper's Fig. 6."""
+        return float(math.log10(self.max_value / self.min_value))
+
+    def accumulator_bits(self, k: int) -> int:
+        """Exact accumulator width for ``k`` products — paper eq. (3)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        carry = 0 if k == 1 else math.ceil(math.log2(k))
+        span = math.ceil(math.log2(self.max_value / self.min_value))
+        return carry + 2 * span + 2
+
+    # ------------------------------------------------------------------
+    def valid_pattern(self, bits: int) -> bool:
+        """Whether ``bits`` is a valid ``n``-bit pattern."""
+        return 0 <= bits <= self.mask
+
+    def all_patterns(self) -> range:
+        """Iterate every bit pattern."""
+        return range(self.num_patterns)
+
+    def to_signed(self, bits: int) -> int:
+        """Interpret a raw pattern as a signed integer."""
+        return bits - (1 << self.n) if bits & self.sign_mask else bits
+
+    def to_pattern(self, signed: int) -> int:
+        """Two's-complement pattern of a signed integer (must be in range)."""
+        if not self.int_min <= signed <= self.int_max:
+            raise ValueError(f"{signed} out of range for {self}")
+        return signed & self.mask
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"fixed<{self.n},{self.q}>"
+
+
+@lru_cache(maxsize=None)
+def fixed_format(n: int, q: int) -> FixedFormat:
+    """Memoized :class:`FixedFormat` constructor."""
+    return FixedFormat(n, q)
+
+
+#: 8-bit fixed point with 4 fraction bits (range +-8).
+q8_4 = fixed_format(8, 4)
+#: 8-bit fixed point with 7 fraction bits (range +-1), the densest option.
+q8_7 = fixed_format(8, 7)

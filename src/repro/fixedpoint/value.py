@@ -1,0 +1,181 @@
+"""Scalar fixed-point value type with saturating arithmetic.
+
+Quantization of real values uses round-to-nearest-even on the raw integer;
+the EMAC's *output* stage instead uses the paper's shift-right-and-truncate
+(floor) semantics, implemented in :mod:`repro.core.emac_fixed`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .format import FixedFormat
+
+__all__ = ["Fixed", "quantize_rne", "quantize_floor"]
+
+_Number = Union[int, float, Fraction, "Fixed"]
+
+
+def quantize_rne(fmt: FixedFormat, value: Fraction) -> int:
+    """Round ``value`` to the nearest raw integer (ties to even), saturating.
+
+    Returns the raw signed integer (not the bit pattern).
+    """
+    scaled = value * (1 << fmt.q)
+    num, den = scaled.numerator, scaled.denominator
+    q, r = divmod(num, den)  # floor division; r >= 0
+    twice = 2 * r
+    if twice > den or (twice == den and q % 2 != 0):
+        q += 1
+    return max(fmt.int_min, min(fmt.int_max, q))
+
+
+def quantize_floor(fmt: FixedFormat, value: Fraction) -> int:
+    """Floor ``value`` to the format grid, saturating (EMAC output rule)."""
+    scaled = value * (1 << fmt.q)
+    q = scaled.numerator // scaled.denominator
+    return max(fmt.int_min, min(fmt.int_max, q))
+
+
+class Fixed:
+    """An immutable fixed-point number."""
+
+    __slots__ = ("_fmt", "_raw")
+
+    def __init__(self, fmt: FixedFormat, raw: int):
+        if not fmt.int_min <= raw <= fmt.int_max:
+            raise ValueError(f"raw value {raw} out of range for {fmt}")
+        self._fmt = fmt
+        self._raw = raw
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, fmt: FixedFormat, bits: int) -> "Fixed":
+        """Wrap a two's-complement pattern."""
+        return cls(fmt, fmt.to_signed(bits))
+
+    @classmethod
+    def from_raw(cls, fmt: FixedFormat, raw: int) -> "Fixed":
+        """Wrap a raw signed integer (value = raw / 2**q)."""
+        return cls(fmt, raw)
+
+    @classmethod
+    def from_value(cls, fmt: FixedFormat, value: _Number) -> "Fixed":
+        """Round any finite real to the nearest fixed-point value (RNE)."""
+        if isinstance(value, Fixed):
+            if value.fmt == fmt:
+                return value
+            return cls(fmt, quantize_rne(fmt, value.to_fraction()))
+        if isinstance(value, bool):
+            raise TypeError("refusing to interpret bool as a fixed-point value")
+        if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ValueError("cannot encode non-finite float")
+            value = Fraction(value)
+        if isinstance(value, int):
+            value = Fraction(value)
+        if not isinstance(value, Fraction):
+            raise TypeError(f"cannot build fixed-point from {type(value).__name__}")
+        return cls(fmt, quantize_rne(fmt, value))
+
+    @classmethod
+    def zero(cls, fmt: FixedFormat) -> "Fixed":
+        """Zero."""
+        return cls(fmt, 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> FixedFormat:
+        """The fixed-point format."""
+        return self._fmt
+
+    @property
+    def raw(self) -> int:
+        """Raw signed integer; value is ``raw / 2**q``."""
+        return self._raw
+
+    @property
+    def bits(self) -> int:
+        """Two's-complement ``n``-bit pattern."""
+        return self._raw & self._fmt.mask
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the value is zero."""
+        return self._raw == 0
+
+    @property
+    def is_negative(self) -> bool:
+        """True for strictly negative values."""
+        return self._raw < 0
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value."""
+        return Fraction(self._raw, 1 << self._fmt.q)
+
+    def __float__(self) -> float:
+        return self._raw / (1 << self._fmt.q)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other: _Number) -> "Fixed":
+        if isinstance(other, Fixed):
+            if other._fmt != self._fmt:
+                raise TypeError(f"format mismatch: {self._fmt} vs {other._fmt}")
+            return other
+        return Fixed.from_value(self._fmt, other)
+
+    def _sat(self, raw: int) -> "Fixed":
+        return Fixed(self._fmt, max(self._fmt.int_min, min(self._fmt.int_max, raw)))
+
+    def __add__(self, other: _Number) -> "Fixed":
+        return self._sat(self._raw + self._coerce(other)._raw)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Number) -> "Fixed":
+        return self._sat(self._raw - self._coerce(other)._raw)
+
+    def __rsub__(self, other: _Number) -> "Fixed":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: _Number) -> "Fixed":
+        rhs = self._coerce(other)
+        return Fixed(self._fmt, quantize_rne(self._fmt, self.to_fraction() * rhs.to_fraction()))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Fixed":
+        return self._sat(-self._raw)
+
+    def __abs__(self) -> "Fixed":
+        return self._sat(abs(self._raw))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fixed):
+            return self._fmt == other._fmt and self._raw == other._raw
+        if isinstance(other, (int, float, Fraction)):
+            try:
+                return self.to_fraction() == Fraction(other)
+            except (ValueError, OverflowError):
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._fmt, self._raw))
+
+    def __lt__(self, other: _Number) -> bool:
+        return self._raw < self._coerce(other)._raw
+
+    def __le__(self, other: _Number) -> bool:
+        return self._raw <= self._coerce(other)._raw
+
+    def __gt__(self, other: _Number) -> bool:
+        return self._raw > self._coerce(other)._raw
+
+    def __ge__(self, other: _Number) -> bool:
+        return self._raw >= self._coerce(other)._raw
+
+    def __repr__(self) -> str:
+        return f"Fixed({self._fmt}, {float(self)!r}, raw={self._raw})"

@@ -1,0 +1,169 @@
+"""Encode/decode for parametric small floats.
+
+Decoding mirrors the input stage of the paper's floating-point EMAC
+(Fig. 4): subnormal detection sets the hidden bit to zero and bumps the
+stored exponent to 1 so that value = significand * 2**(exp - bias - wf)
+uniformly for normals and subnormals.
+
+Encoding implements round-to-nearest-even with correct subnormal handling
+and *clamping at the maximum magnitude* — the EMAC never overflows to
+infinity (paper Section III-C), and the reserved all-ones exponent is never
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .format import FloatFormat
+
+__all__ = ["DecodedFloat", "decode", "encode_exact", "encode_fraction", "encode_float"]
+
+
+@dataclass(frozen=True)
+class DecodedFloat:
+    """Fields extracted from a float bit pattern.
+
+    ``significand`` includes the hidden bit (0 for subnormals/zero) and has
+    ``wf + 1`` bits; the represented magnitude is
+    ``significand * 2**(scale - wf)`` where ``scale`` is the unbiased
+    exponent (subnormals use ``1 - bias``).
+    """
+
+    fmt: FloatFormat
+    bits: int
+    sign: int
+    exponent_field: int
+    fraction: int
+    is_zero: bool
+    is_subnormal: bool
+    is_reserved: bool  # all-ones exponent (Inf/NaN in IEEE); not produced here
+
+    @property
+    def significand(self) -> int:
+        """Hidden bit | fraction, ``wf + 1`` bits."""
+        hidden = 0 if (self.is_subnormal or self.is_zero) else 1
+        return (hidden << self.fmt.wf) | self.fraction
+
+    @property
+    def scale(self) -> int:
+        """Unbiased exponent of the significand's hidden-bit position."""
+        if self.is_subnormal or self.is_zero:
+            return 1 - self.fmt.bias
+        return self.exponent_field - self.fmt.bias
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value (reserved patterns raise)."""
+        if self.is_reserved:
+            raise ValueError("reserved (Inf/NaN) pattern has no rational value")
+        if self.is_zero or self.significand == 0:
+            return Fraction(0)
+        mag = Fraction(self.significand) * _pow2(self.scale - self.fmt.wf)
+        return -mag if self.sign else mag
+
+
+def _pow2(e: int) -> Fraction:
+    if e >= 0:
+        return Fraction(1 << e)
+    return Fraction(1, 1 << -e)
+
+
+def decode(fmt: FloatFormat, bits: int) -> DecodedFloat:
+    """Split a pattern into sign / exponent / fraction with subnormal flags."""
+    if not fmt.valid_pattern(bits):
+        raise ValueError(f"pattern {bits:#x} out of range for {fmt}")
+    sign = (bits >> (fmt.n - 1)) & 1
+    exponent_field = (bits >> fmt.wf) & ((1 << fmt.we) - 1)
+    fraction = bits & ((1 << fmt.wf) - 1)
+    is_zero = exponent_field == 0 and fraction == 0
+    is_subnormal = exponent_field == 0 and fraction != 0
+    is_reserved = exponent_field == (1 << fmt.we) - 1
+    return DecodedFloat(
+        fmt=fmt,
+        bits=bits,
+        sign=sign,
+        exponent_field=exponent_field,
+        fraction=fraction,
+        is_zero=is_zero,
+        is_subnormal=is_subnormal,
+        is_reserved=is_reserved,
+    )
+
+
+def encode_exact(fmt: FloatFormat, sign: int, mantissa: int, exponent: int) -> int:
+    """Round ``(-1)**sign * mantissa * 2**exponent`` to the nearest float.
+
+    Exact for arbitrarily wide mantissas.  Overflow clamps to ``+-max``;
+    values below half the smallest subnormal round to (signed) zero.
+    """
+    if mantissa < 0:
+        raise ValueError("mantissa must be non-negative; use the sign argument")
+    if mantissa == 0:
+        return (sign << (fmt.n - 1)) if sign else 0
+
+    length = mantissa.bit_length()
+    scale = exponent + length - 1  # floor(log2(value))
+
+    if scale > fmt.max_scale:
+        return _pack(fmt, sign, fmt.expmax, (1 << fmt.wf) - 1)
+
+    # Position of the result LSB: for normals it is scale - wf; for
+    # subnormals it is pinned at min_scale = 1 - bias - wf.
+    lsb_exp = max(scale - fmt.wf, fmt.min_scale)
+    shift = lsb_exp - exponent  # how many low bits of mantissa to drop
+    if shift <= 0:
+        kept = mantissa << -shift
+        rounded = kept
+    else:
+        kept = mantissa >> shift
+        guard = (mantissa >> (shift - 1)) & 1
+        sticky = 1 if mantissa & ((1 << (shift - 1)) - 1) else 0
+        rounded = kept + (guard & ((kept & 1) | sticky))
+
+    # ``rounded`` is the significand in units of 2**lsb_exp.  Rounding may
+    # have carried out (e.g. 1.111... -> 10.000), which raises the scale.
+    if rounded == 0:
+        return (sign << (fmt.n - 1)) if sign else 0
+
+    width = rounded.bit_length()
+    if lsb_exp == fmt.min_scale and width <= fmt.wf:
+        # Subnormal result: exponent field 0, no hidden bit.
+        return _pack(fmt, sign, 0, rounded)
+    # Normal result: normalize so the hidden bit sits at position wf.
+    new_scale = lsb_exp + width - 1
+    if new_scale > fmt.max_scale:
+        return _pack(fmt, sign, fmt.expmax, (1 << fmt.wf) - 1)
+    # Align significand to wf+1 bits.  A carry-out of rounding (1.11... ->
+    # 10.0...) leaves trailing zeros, so the narrowing shift is exact.
+    if width > fmt.wf + 1:
+        sig = rounded >> (width - (fmt.wf + 1))
+    else:
+        sig = rounded << (fmt.wf + 1 - width)
+    frac = sig & ((1 << fmt.wf) - 1)
+    return _pack(fmt, sign, new_scale + fmt.bias, frac)
+
+
+def _pack(fmt: FloatFormat, sign: int, exponent_field: int, fraction: int) -> int:
+    return (sign << (fmt.n - 1)) | (exponent_field << fmt.wf) | fraction
+
+
+def encode_fraction(fmt: FloatFormat, value: Fraction) -> int:
+    """Round an exact rational to the nearest float pattern."""
+    if value == 0:
+        return 0
+    sign = 1 if value < 0 else 0
+    magnitude = -value if sign else value
+    num, den = magnitude.numerator, magnitude.denominator
+    extra = fmt.n + fmt.wf + 8 + max(0, den.bit_length() - num.bit_length() + 1)
+    shifted = num << extra
+    q, r = divmod(shifted, den)
+    mantissa = (q << 1) | (1 if r else 0)
+    return encode_exact(fmt, sign, mantissa, -(extra + 1))
+
+
+def encode_float(fmt: FloatFormat, value: float) -> int:
+    """Round a Python float to the nearest pattern (finite inputs only)."""
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError("cannot encode non-finite float")
+    return encode_fraction(fmt, Fraction(value))

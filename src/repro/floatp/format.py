@@ -1,0 +1,147 @@
+"""Parametric IEEE-style floating-point format descriptor.
+
+The paper's floating-point EMAC (Fig. 4) takes inputs with one sign bit,
+``we`` exponent bits, and ``wf`` fraction bits, and computes the format
+characteristics as:
+
+    bias    = 2**(we-1) - 1
+    expmax  = 2**we - 2
+    max     = 2**(expmax - bias) * (2 - 2**-wf)
+    min     = 2**(1 - bias) * 2**-wf        (smallest subnormal)
+
+The all-ones exponent is reserved (as in IEEE 754) but the EMAC datapath
+never produces it: results clamp at ``max`` instead of overflowing to
+infinity, and inputs are assumed finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+import math
+
+__all__ = ["FloatFormat", "float8_143", "float8_152", "binary16", "float_format"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Immutable descriptor of a ``(1, we, wf)`` floating-point format."""
+
+    we: int
+    wf: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.we, int) or not isinstance(self.wf, int):
+            raise TypeError("we and wf must be integers")
+        if self.we < 2:
+            raise ValueError(f"we must be >= 2 (got {self.we})")
+        if self.wf < 0:
+            raise ValueError(f"wf must be >= 0 (got {self.wf})")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total width in bits: ``1 + we + wf``."""
+        return 1 + self.we + self.wf
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias, ``2**(we-1) - 1``."""
+        return (1 << (self.we - 1)) - 1
+
+    @property
+    def expmax(self) -> int:
+        """Largest non-reserved biased exponent, ``2**we - 2``."""
+        return (1 << self.we) - 2
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask of width ``n``."""
+        return (1 << self.n) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        """Mask selecting the sign bit."""
+        return 1 << (self.n - 1)
+
+    @property
+    def num_patterns(self) -> int:
+        """Total number of bit patterns, ``2**n``."""
+        return 1 << self.n
+
+    # ------------------------------------------------------------------
+    @property
+    def max_value(self) -> Fraction:
+        """Largest finite magnitude."""
+        scale = self.expmax - self.bias
+        sig = Fraction(2) - Fraction(1, 1 << self.wf)
+        return _pow2(scale) * sig
+
+    @property
+    def min_value(self) -> Fraction:
+        """Smallest positive (subnormal) magnitude."""
+        return _pow2(1 - self.bias - self.wf)
+
+    @property
+    def min_normal(self) -> Fraction:
+        """Smallest positive normal magnitude, ``2**(1-bias)``."""
+        return _pow2(1 - self.bias)
+
+    @property
+    def max_scale(self) -> int:
+        """Power-of-two scale of the largest normal, ``expmax - bias``."""
+        return self.expmax - self.bias
+
+    @property
+    def min_scale(self) -> int:
+        """Power-of-two weight of the subnormal LSB, ``1 - bias - wf``."""
+        return 1 - self.bias - self.wf
+
+    @property
+    def dynamic_range(self) -> float:
+        """``log10(max / min)`` as used by the paper's Fig. 6."""
+        return float(math.log10(self.max_value / self.min_value))
+
+    def accumulator_bits(self, k: int) -> int:
+        """Width of the exact accumulator for ``k`` products — paper eq. (3).
+
+        ``wa = ceil(log2 k) + 2 * ceil(log2(max / min)) + 2``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        carry = 0 if k == 1 else math.ceil(math.log2(k))
+        span = math.ceil(math.log2(self.max_value / self.min_value))
+        return carry + 2 * span + 2
+
+    # ------------------------------------------------------------------
+    def valid_pattern(self, bits: int) -> bool:
+        """Whether ``bits`` is a valid ``n``-bit pattern."""
+        return 0 <= bits <= self.mask
+
+    def all_patterns(self) -> range:
+        """Iterate every bit pattern."""
+        return range(self.num_patterns)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"float<1,{self.we},{self.wf}>"
+
+
+def _pow2(e: int) -> Fraction:
+    if e >= 0:
+        return Fraction(1 << e)
+    return Fraction(1, 1 << -e)
+
+
+@lru_cache(maxsize=None)
+def float_format(we: int, wf: int) -> FloatFormat:
+    """Memoized :class:`FloatFormat` constructor."""
+    return FloatFormat(we, wf)
+
+
+#: 8-bit float with a 4-bit exponent — one of the paper's best performers.
+float8_143 = float_format(4, 3)
+#: 8-bit float with a 5-bit exponent (more range, less precision).
+float8_152 = float_format(5, 2)
+#: IEEE half precision, for reference experiments.
+binary16 = float_format(5, 10)

@@ -1,0 +1,114 @@
+"""Lookup tables for vectorized small-float processing.
+
+Same role as :mod:`repro.posit.tables`: per-pattern decode arrays indexed by
+bit pattern, used by the vectorized EMAC engine.  Reserved (all-ones
+exponent) patterns are flagged and mapped to NaN in ``float_value``; the
+Deep Positron datapath never produces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .codec import decode
+from .format import FloatFormat
+from .value import FloatP
+
+__all__ = ["FloatTables", "tables_for"]
+
+
+@dataclass(frozen=True)
+class FloatTables:
+    """Per-pattern decode tables for a :class:`FloatFormat`.
+
+    ``significand`` carries the hidden bit (``wf + 1`` bits, 0-hidden for
+    subnormals); the magnitude of pattern ``p`` is
+    ``significand[p] * 2**(scale[p] - wf)``.
+    """
+
+    fmt: FloatFormat
+    sign: np.ndarray
+    scale: np.ndarray
+    significand: np.ndarray
+    is_zero: np.ndarray
+    is_reserved: np.ndarray
+    float_value: np.ndarray
+    negate: np.ndarray
+    relu: np.ndarray
+
+    @property
+    def frac_shift(self) -> int:
+        """Fraction bits of :attr:`significand`: ``wf``."""
+        return self.fmt.wf
+
+
+def _build(fmt: FloatFormat) -> FloatTables:
+    count = fmt.num_patterns
+    sign = np.zeros(count, dtype=np.int8)
+    scale = np.zeros(count, dtype=np.int32)
+    significand = np.zeros(count, dtype=np.int64)
+    is_zero = np.zeros(count, dtype=bool)
+    is_reserved = np.zeros(count, dtype=bool)
+    float_value = np.empty(count, dtype=np.float64)
+    negate = np.zeros(count, dtype=np.uint32)
+    relu = np.zeros(count, dtype=np.uint32)
+
+    for bits in fmt.all_patterns():
+        d = decode(fmt, bits)
+        negate[bits] = bits ^ fmt.sign_mask
+        if d.is_reserved:
+            is_reserved[bits] = True
+            float_value[bits] = np.nan
+            relu[bits] = 0
+            continue
+        sign[bits] = d.sign
+        scale[bits] = d.scale
+        significand[bits] = d.significand
+        is_zero[bits] = d.significand == 0
+        float_value[bits] = float(d.to_fraction())
+        relu[bits] = 0 if d.sign else bits
+    return FloatTables(
+        fmt=fmt,
+        sign=sign,
+        scale=scale,
+        significand=significand,
+        is_zero=is_zero,
+        is_reserved=is_reserved,
+        float_value=float_value,
+        negate=negate,
+        relu=relu,
+    )
+
+
+@lru_cache(maxsize=32)
+def tables_for(fmt: FloatFormat) -> FloatTables:
+    """Build (or fetch cached) decode tables for ``fmt`` (n <= 16)."""
+    if fmt.n > 16:
+        raise ValueError(f"decode tables limited to n <= 16; {fmt} is too wide")
+    return _build(fmt)
+
+
+def quantize_array(fmt: FloatFormat, values: np.ndarray) -> np.ndarray:
+    """Round a float array to patterns of ``fmt`` (uint32), elementwise."""
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if not np.all(np.isfinite(flat)):
+        raise ValueError("cannot quantize non-finite values")
+    out = np.empty(flat.shape, dtype=np.uint32)
+    cache: dict[float, int] = {}
+    for i, v in enumerate(flat):
+        key = float(v)
+        bits = cache.get(key)
+        if bits is None:
+            bits = FloatP.from_value(fmt, key).bits
+            cache[key] = bits
+        out[i] = bits
+    return out.reshape(np.asarray(values).shape)
+
+
+def dequantize_array(fmt: FloatFormat, patterns: np.ndarray) -> np.ndarray:
+    """Map patterns back to float64 values via the tables."""
+    t = tables_for(fmt)
+    return t.float_value[np.asarray(patterns, dtype=np.int64)]

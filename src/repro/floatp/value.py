@@ -1,0 +1,178 @@
+"""Scalar small-float value type, mirroring :class:`repro.posit.Posit`.
+
+Arithmetic decodes to exact rationals, computes exactly, and rounds once
+with round-to-nearest-even, clamping at the maximum magnitude (the EMAC's
+no-overflow-to-infinity convention).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .codec import DecodedFloat, decode, encode_float, encode_fraction
+from .format import FloatFormat
+
+__all__ = ["FloatP"]
+
+_Number = Union[int, float, Fraction, "FloatP"]
+
+
+class FloatP:
+    """An immutable parametric-precision float."""
+
+    __slots__ = ("_fmt", "_bits", "_decoded")
+
+    def __init__(self, fmt: FloatFormat, bits: int):
+        if not fmt.valid_pattern(bits):
+            raise ValueError(f"pattern {bits:#x} out of range for {fmt}")
+        self._fmt = fmt
+        self._bits = bits
+        self._decoded: DecodedFloat | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, fmt: FloatFormat, bits: int) -> "FloatP":
+        """Wrap an existing pattern."""
+        return cls(fmt, bits)
+
+    @classmethod
+    def from_value(cls, fmt: FloatFormat, value: _Number) -> "FloatP":
+        """Round any finite real to the nearest float of ``fmt``."""
+        if isinstance(value, FloatP):
+            if value.fmt == fmt:
+                return value
+            return cls(fmt, encode_fraction(fmt, value.to_fraction()))
+        if isinstance(value, bool):
+            raise TypeError("refusing to interpret bool as a float value")
+        if isinstance(value, int):
+            return cls(fmt, encode_fraction(fmt, Fraction(value)))
+        if isinstance(value, Fraction):
+            return cls(fmt, encode_fraction(fmt, value))
+        if isinstance(value, float):
+            return cls(fmt, encode_float(fmt, value))
+        raise TypeError(f"cannot build a float from {type(value).__name__}")
+
+    @classmethod
+    def zero(cls, fmt: FloatFormat) -> "FloatP":
+        """Positive zero."""
+        return cls(fmt, 0)
+
+    @classmethod
+    def max_value(cls, fmt: FloatFormat) -> "FloatP":
+        """Largest positive finite value."""
+        return cls(fmt, (fmt.expmax << fmt.wf) | ((1 << fmt.wf) - 1))
+
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> FloatFormat:
+        """The float format."""
+        return self._fmt
+
+    @property
+    def bits(self) -> int:
+        """Raw pattern."""
+        return self._bits
+
+    @property
+    def decoded(self) -> DecodedFloat:
+        """Lazily decoded field view."""
+        if self._decoded is None:
+            self._decoded = decode(self._fmt, self._bits)
+        return self._decoded
+
+    @property
+    def is_zero(self) -> bool:
+        """True for either signed zero."""
+        d = self.decoded
+        return d.is_zero
+
+    @property
+    def is_negative(self) -> bool:
+        """True when the sign bit is set (note: includes -0)."""
+        return bool(self._bits & self._fmt.sign_mask)
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value."""
+        return self.decoded.to_fraction()
+
+    def __float__(self) -> float:
+        return float(self.to_fraction())
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other: _Number) -> "FloatP":
+        if isinstance(other, FloatP):
+            if other._fmt != self._fmt:
+                raise TypeError(f"format mismatch: {self._fmt} vs {other._fmt}")
+            return other
+        return FloatP.from_value(self._fmt, other)
+
+    def _round(self, value: Fraction) -> "FloatP":
+        return FloatP(self._fmt, encode_fraction(self._fmt, value))
+
+    def __add__(self, other: _Number) -> "FloatP":
+        return self._round(self.to_fraction() + self._coerce(other).to_fraction())
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Number) -> "FloatP":
+        return self._round(self.to_fraction() - self._coerce(other).to_fraction())
+
+    def __rsub__(self, other: _Number) -> "FloatP":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: _Number) -> "FloatP":
+        return self._round(self.to_fraction() * self._coerce(other).to_fraction())
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Number) -> "FloatP":
+        rhs = self._coerce(other)
+        if rhs.to_fraction() == 0:
+            raise ZeroDivisionError("float division by zero (no Inf in datapath)")
+        return self._round(self.to_fraction() / rhs.to_fraction())
+
+    def __neg__(self) -> "FloatP":
+        return FloatP(self._fmt, self._bits ^ self._fmt.sign_mask)
+
+    def __abs__(self) -> "FloatP":
+        return FloatP(self._fmt, self._bits & ~self._fmt.sign_mask & self._fmt.mask)
+
+    def fma(self, mul: _Number, add: _Number) -> "FloatP":
+        """Fused multiply-add with a single rounding."""
+        m = self._coerce(mul)
+        a = self._coerce(add)
+        return self._round(self.to_fraction() * m.to_fraction() + a.to_fraction())
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FloatP):
+            # -0 == +0, like IEEE.
+            return self._fmt == other._fmt and self.to_fraction() == other.to_fraction()
+        if isinstance(other, (int, float, Fraction)):
+            try:
+                return self.to_fraction() == Fraction(other)
+            except (ValueError, OverflowError):
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._fmt, self.to_fraction()))
+
+    def __lt__(self, other: _Number) -> bool:
+        return self.to_fraction() < self._coerce(other).to_fraction()
+
+    def __le__(self, other: _Number) -> bool:
+        return self.to_fraction() <= self._coerce(other).to_fraction()
+
+    def __gt__(self, other: _Number) -> bool:
+        return self.to_fraction() > self._coerce(other).to_fraction()
+
+    def __ge__(self, other: _Number) -> bool:
+        return self.to_fraction() >= self._coerce(other).to_fraction()
+
+    def __repr__(self) -> str:
+        return (
+            f"FloatP({self._fmt}, {float(self)!r}, "
+            f"bits={self._bits:#0{2 + (self._fmt.n + 3) // 4}x})"
+        )

@@ -1,0 +1,47 @@
+"""Virtex-7-class structural hardware model for the EMAC soft cores.
+
+Resource (LUT/DSP), timing (Fmax), and power/EDP estimates per EMAC,
+calibrated to reproduce the orderings and growth trends of the paper's
+Figs 6-9 (see DESIGN.md §4 for the substitution rationale).
+"""
+
+from . import virtex7
+from .design import DEFAULT_FAN_IN, EmacDesign
+from .resources import LutBreakdown, dsp_count, lut_count
+from .timing import StageTimes, critical_path_s, fmax_hz, stage_times
+from .power import PowerReport, dynamic_power_w, energy_per_cycle_j, power_report
+from .metrics import (
+    EmacReport,
+    default_configs_for_width,
+    emac_report,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+)
+from .synthesis import LayerSynthesis, NetworkSynthesis, synthesize_network
+
+__all__ = [
+    "virtex7",
+    "EmacDesign",
+    "DEFAULT_FAN_IN",
+    "LutBreakdown",
+    "lut_count",
+    "dsp_count",
+    "StageTimes",
+    "stage_times",
+    "critical_path_s",
+    "fmax_hz",
+    "PowerReport",
+    "power_report",
+    "dynamic_power_w",
+    "energy_per_cycle_j",
+    "EmacReport",
+    "emac_report",
+    "default_configs_for_width",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+    "LayerSynthesis",
+    "NetworkSynthesis",
+    "synthesize_network",
+]

@@ -1,0 +1,112 @@
+"""Structural description of each EMAC datapath.
+
+:class:`EmacDesign` derives, from a numerical format and the dot-product
+length ``k``, the widths of every datapath element the paper's figures show:
+significand multiplier, accumulator/quire register (eqs. (3) and (4)),
+shifters, leading-zero detectors, and decode/encode logic.  The resource,
+timing, and power models consume these widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..fixedpoint.format import FixedFormat
+from ..floatp.format import FloatFormat
+from ..posit.format import PositFormat
+
+__all__ = ["EmacDesign", "DEFAULT_FAN_IN"]
+
+#: Nominal dot-product length used when synthesizing a standalone EMAC
+#: (the paper synthesizes the units outside any specific network).
+DEFAULT_FAN_IN = 16
+
+
+@dataclass(frozen=True)
+class EmacDesign:
+    """Datapath widths of one EMAC instance.
+
+    Build with :meth:`for_format`.
+    """
+
+    family: str  # "fixed" | "float" | "posit"
+    fmt: object
+    fan_in: int
+    accumulator_bits: int  # eq. (3) / eq. (4) register width
+    multiplier_bits: int  # significand multiplier operand width
+    decode_width: int  # per-input decode datapath width (0 if trivial)
+    has_input_shift: bool  # accumulate stage includes a barrel shifter
+    has_twos_complement: bool  # accumulate stage includes wide 2's comp
+
+    @classmethod
+    def for_format(cls, fmt, fan_in: int = DEFAULT_FAN_IN) -> "EmacDesign":
+        """Derive the datapath widths for any supported format."""
+        if fan_in < 1:
+            raise ValueError("fan_in must be >= 1")
+        if isinstance(fmt, FixedFormat):
+            return cls(
+                family="fixed",
+                fmt=fmt,
+                fan_in=fan_in,
+                accumulator_bits=fmt.accumulator_bits(fan_in),
+                multiplier_bits=fmt.n,
+                decode_width=0,
+                has_input_shift=False,
+                has_twos_complement=False,
+            )
+        if isinstance(fmt, FloatFormat):
+            return cls(
+                family="float",
+                fmt=fmt,
+                fan_in=fan_in,
+                accumulator_bits=fmt.accumulator_bits(fan_in),
+                multiplier_bits=fmt.wf + 1,
+                decode_width=fmt.n,  # subnormal detection & hidden-bit mux
+                has_input_shift=True,
+                # Products arrive sign+magnitude; the wide register needs
+                # full-width 2's complement both ways (paper Fig. 4).
+                has_twos_complement=True,
+            )
+        if isinstance(fmt, PositFormat):
+            return cls(
+                family="posit",
+                fmt=fmt,
+                fan_in=fan_in,
+                accumulator_bits=fmt.quire_bits(fan_in),
+                multiplier_bits=fmt.significand_bits,
+                decode_width=fmt.n,  # Algorithm 1: LZD + shifter + 2's comp
+                has_input_shift=True,
+                # Algorithm 2 complements the *narrow* product (line 11),
+                # not the quire, so no wide 2's comp in the loop.
+                has_twos_complement=False,
+            )
+        raise TypeError(f"unsupported format {type(fmt).__name__}")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Input pattern width ``n``."""
+        return self.fmt.n
+
+    @property
+    def dynamic_range(self) -> float:
+        """``log10(max/min)`` of the input format (paper Fig. 6 x-axis)."""
+        return self.fmt.dynamic_range
+
+    @property
+    def product_bits(self) -> int:
+        """Width of the significand product."""
+        return 2 * self.multiplier_bits
+
+    @property
+    def shifter_stages(self) -> int:
+        """Mux levels of the accumulate-stage barrel shifter."""
+        if not self.has_input_shift:
+            return 0
+        return max(1, math.ceil(math.log2(self.accumulator_bits)))
+
+    @property
+    def label(self) -> str:
+        """Readable identifier, e.g. ``posit<8,1>``."""
+        return str(self.fmt)

@@ -1,0 +1,138 @@
+"""Combined per-EMAC hardware report and figure-series helpers.
+
+:func:`emac_report` bundles everything the paper's Figs 6-9 plot for one
+EMAC configuration; the ``*_series`` helpers produce the exact sweeps each
+figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fixedpoint.format import fixed_format
+from ..floatp.format import float_format
+from ..posit.format import standard_format
+from .design import DEFAULT_FAN_IN, EmacDesign
+from .power import PowerReport, power_report
+from .resources import LutBreakdown, dsp_count, lut_count
+from .timing import StageTimes, fmax_hz, stage_times
+
+__all__ = [
+    "EmacReport",
+    "emac_report",
+    "default_configs_for_width",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+]
+
+
+@dataclass(frozen=True)
+class EmacReport:
+    """Everything the paper reports about one synthesized EMAC."""
+
+    design: EmacDesign
+    luts: LutBreakdown
+    dsps: int
+    stages: StageTimes
+    power: PowerReport
+
+    @property
+    def label(self) -> str:
+        """Format label."""
+        return self.design.label
+
+    @property
+    def fmax_hz(self) -> float:
+        """Maximum operating frequency."""
+        return 1.0 / self.stages.critical
+
+    @property
+    def dynamic_range(self) -> float:
+        """log10(max/min) of the format."""
+        return self.design.dynamic_range
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of one fan_in-length dot product (J*s)."""
+        return self.power.edp
+
+
+def emac_report(fmt, fan_in: int = DEFAULT_FAN_IN) -> EmacReport:
+    """Full hardware report for one format at a given dot-product length."""
+    design = EmacDesign.for_format(fmt, fan_in)
+    return EmacReport(
+        design=design,
+        luts=lut_count(design),
+        dsps=dsp_count(design),
+        stages=stage_times(design),
+        power=power_report(design),
+    )
+
+
+def default_configs_for_width(n: int) -> dict[str, list]:
+    """The format configurations the paper sweeps at width ``n``.
+
+    Posit es in {0, 1, 2} (subject to field fit), float we in {2..5} with
+    wf >= 1, fixed q covering fractional splits of the word.
+    """
+    posits = [
+        standard_format(n, es) for es in (0, 1, 2) if n - 3 - es >= 0
+    ]
+    floats = [
+        float_format(we, n - 1 - we) for we in (2, 3, 4, 5) if n - 1 - we >= 1
+    ]
+    fixeds = [fixed_format(n, q) for q in range(1, n)]
+    return {"posit": posits, "float": floats, "fixed": fixeds}
+
+
+def figure6_series(
+    widths: tuple[int, ...] = (5, 6, 7, 8), fan_in: int = DEFAULT_FAN_IN
+) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 6: (dynamic range, Fmax) points per format family."""
+    series: dict[str, list[tuple[float, float]]] = {"fixed": [], "float": [], "posit": []}
+    for n in widths:
+        configs = default_configs_for_width(n)
+        for family, fmts in configs.items():
+            for fmt in fmts:
+                report = emac_report(fmt, fan_in)
+                series[family].append((report.dynamic_range, report.fmax_hz))
+    for family in series:
+        series[family].sort()
+    return series
+
+
+def _best_accuracy_config(family: str, n: int):
+    """Representative config per family/width for Figs 7-9: the paper's
+    best performers (posit es<=2, float we in {3,4}, fixed mid split)."""
+    if family == "posit":
+        es = 1 if n - 4 >= 0 else 0
+        return standard_format(n, es)
+    if family == "float":
+        we = 4 if n - 1 - 4 >= 1 else max(2, n - 2)
+        return float_format(we, n - 1 - we)
+    return fixed_format(n, max(1, n // 2))
+
+
+def figure7_series(
+    widths: tuple[int, ...] = (5, 6, 7, 8), fan_in: int = DEFAULT_FAN_IN
+) -> dict[str, list[tuple[int, float]]]:
+    """Fig. 7: (n, EDP) per format family."""
+    series: dict[str, list[tuple[int, float]]] = {"fixed": [], "float": [], "posit": []}
+    for n in widths:
+        for family in series:
+            fmt = _best_accuracy_config(family, n)
+            series[family].append((n, emac_report(fmt, fan_in).edp))
+    return series
+
+
+def figure8_series(
+    widths: tuple[int, ...] = (5, 6, 7, 8), fan_in: int = DEFAULT_FAN_IN
+) -> dict[str, list[tuple[int, int]]]:
+    """Fig. 8: (n, LUTs) per format family."""
+    series: dict[str, list[tuple[int, int]]] = {"fixed": [], "float": [], "posit": []}
+    for n in widths:
+        for family in series:
+            fmt = _best_accuracy_config(family, n)
+            series[family].append((n, emac_report(fmt, fan_in).luts.total))
+    return series

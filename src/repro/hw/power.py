@@ -1,0 +1,82 @@
+"""Power and energy model (inputs to the paper's Figs 7 and 9).
+
+Dynamic power = activity x (LUT toggle energy x LUTs + DSP op energy) x f,
+plus a static leakage share.  Operating frequency defaults to the design's
+Fmax (the paper optimizes for latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import virtex7 as dev
+from .design import EmacDesign
+from .resources import dsp_count, lut_count
+from .timing import fmax_hz
+
+__all__ = ["PowerReport", "power_report", "dynamic_power_w", "energy_per_cycle_j"]
+
+
+def energy_per_cycle_j(design: EmacDesign) -> float:
+    """Switched energy of one EMAC clock cycle (one MAC)."""
+    luts = lut_count(design).total
+    dsps = dsp_count(design)
+    return dev.ACTIVITY_FACTOR * (
+        luts * dev.E_LUT_TOGGLE_J + dsps * dev.E_DSP_OP_J
+    )
+
+
+def dynamic_power_w(design: EmacDesign, frequency_hz: float | None = None) -> float:
+    """Dynamic power at ``frequency_hz`` (defaults to Fmax)."""
+    f = frequency_hz if frequency_hz is not None else fmax_hz(design)
+    if f <= 0:
+        raise ValueError("frequency must be positive")
+    return energy_per_cycle_j(design) * f
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power/energy summary of one EMAC running a ``k``-MAC dot product."""
+
+    design: EmacDesign
+    frequency_hz: float
+    dynamic_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Dynamic + static power."""
+        return self.dynamic_w + self.static_w
+
+    @property
+    def dot_product_cycles(self) -> int:
+        """Cycles per dot product: k MACs + pipeline fill (4 stages)."""
+        return self.design.fan_in + 4
+
+    @property
+    def dot_product_latency_s(self) -> float:
+        """Wall-clock latency of one dot product."""
+        return self.dot_product_cycles / self.frequency_hz
+
+    @property
+    def dot_product_energy_j(self) -> float:
+        """Energy of one dot product (dynamic + static over its latency)."""
+        return self.total_w * self.dot_product_latency_s
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of one dot product, in J*s."""
+        return self.dot_product_energy_j * self.dot_product_latency_s
+
+
+def power_report(
+    design: EmacDesign, frequency_hz: float | None = None
+) -> PowerReport:
+    """Build the power/energy summary (defaults to running at Fmax)."""
+    f = frequency_hz if frequency_hz is not None else fmax_hz(design)
+    return PowerReport(
+        design=design,
+        frequency_hz=f,
+        dynamic_w=dynamic_power_w(design, f),
+        static_w=dev.P_STATIC_SHARE_W,
+    )

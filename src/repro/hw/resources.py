@@ -1,0 +1,142 @@
+"""LUT / DSP resource model (paper Fig. 8).
+
+Structural costing of each EMAC datapath on 6-input-LUT fabric:
+
+========================  ======================================
+element                   LUT cost
+========================  ======================================
+ripple/carry adder        1 per bit
+two's complement          0.5 per bit (inverter + carry chain)
+barrel shifter            0.5 per bit per mux level
+leading-zero detector     1.2 per bit
+comparator / clip         1 per input bit
+========================  ======================================
+
+Significand multipliers map to DSP48 slices (the paper targets DSP48
+explicitly), so they cost DSPs rather than LUTs at these widths.  A global
+calibration factor (:data:`repro.hw.virtex7.LUT_CAL`) absorbs synthesis
+overhead.  Posit pays for two Algorithm-1 decoders and the wide quire
+shifter, which is why it tops Fig. 8; fixed-point is a bare adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from . import virtex7 as dev
+from .design import EmacDesign
+
+__all__ = ["LutBreakdown", "lut_count", "dsp_count"]
+
+
+@dataclass(frozen=True)
+class LutBreakdown:
+    """Per-element LUT estimate of one EMAC."""
+
+    decode: float
+    multiply: float
+    shift: float
+    twos_complement: float
+    accumulate: float
+    normalize: float
+    round_clip: float
+
+    @property
+    def total(self) -> int:
+        """Calibrated total LUTs."""
+        raw = (
+            self.decode
+            + self.multiply
+            + self.shift
+            + self.twos_complement
+            + self.accumulate
+            + self.normalize
+            + self.round_clip
+        )
+        return int(round(raw * dev.LUT_CAL))
+
+
+def _adder(bits: int) -> float:
+    return 1.0 * bits
+
+
+def _twos_complement(bits: int) -> float:
+    return 0.5 * bits
+
+
+def _barrel_shifter(bits: int, stages: int) -> float:
+    return 0.5 * bits * stages
+
+
+def _lzd(bits: int) -> float:
+    return 1.2 * bits
+
+
+def lut_count(design: EmacDesign) -> LutBreakdown:
+    """Structural LUT estimate for one EMAC instance."""
+    n = design.width
+    wa = design.accumulator_bits
+
+    if design.family == "fixed":
+        return LutBreakdown(
+            decode=0.0,
+            multiply=0.0,  # DSP48
+            shift=0.0,  # output shift is wiring
+            twos_complement=0.0,
+            accumulate=_adder(wa),
+            normalize=0.0,
+            round_clip=1.0 * n + 4.0,  # saturation comparator + mux
+        )
+
+    if design.family == "float":
+        sub_detect = 2 * (design.fmt.we + 0.5 * design.fmt.wf)
+        exp_add = _adder(design.fmt.we + 2)
+        shift = _barrel_shifter(wa, design.shifter_stages)
+        twos = 2 * _twos_complement(wa)  # into and out of 2's complement
+        norm = _lzd(wa) + _barrel_shifter(
+            design.product_bits + 2, max(1, math.ceil(math.log2(wa)))
+        )
+        return LutBreakdown(
+            decode=sub_detect,
+            multiply=exp_add,
+            shift=shift,
+            twos_complement=twos,
+            accumulate=_adder(wa),
+            normalize=norm,
+            round_clip=2.0 * design.fmt.wf + design.fmt.we + 6.0,
+        )
+
+    if design.family == "posit":
+        # Two Algorithm-1 decoders: 2's comp + LZD + regime shifter each.
+        dec_stages = max(1, math.ceil(math.log2(n)))
+        decode = 2 * (
+            _twos_complement(n) + _lzd(n) + _barrel_shifter(n, dec_stages) + 0.5 * n
+        )
+        sf_add = _adder(design.fmt.es + math.ceil(math.log2(n)) + 2)
+        shift = _barrel_shifter(wa, design.shifter_stages)
+        twos_narrow = _twos_complement(design.product_bits + 1)
+        norm = _lzd(wa) + _barrel_shifter(
+            design.product_bits + 2, max(1, math.ceil(math.log2(wa)))
+        )
+        encode = _barrel_shifter(2 * n, dec_stages) + 2.0 * n + 6.0
+        return LutBreakdown(
+            decode=decode,
+            multiply=sf_add,
+            shift=shift,
+            twos_complement=twos_narrow + _twos_complement(wa),  # final unsign
+            accumulate=_adder(wa),
+            normalize=norm,
+            round_clip=encode,
+        )
+
+    raise ValueError(f"unknown family {design.family!r}")
+
+
+def dsp_count(design: EmacDesign) -> int:
+    """DSP48 slices used by the significand multiplier."""
+    ops = design.multiplier_bits
+    if ops == 0:
+        return 0
+    per_dim = max(1, math.ceil(ops / dev.DSP_MAX_WIDTH))
+    return per_dim * per_dim

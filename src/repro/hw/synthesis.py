@@ -1,0 +1,155 @@
+"""Network-level synthesis roll-up for a Deep Positron accelerator.
+
+The paper instantiates one EMAC per neuron with local weight/bias memories
+(Fig. 1).  This module aggregates the per-EMAC structural estimates into a
+whole-accelerator report: LUTs, DSP48s, BRAM tiles, clock (bounded by the
+slowest layer's EMAC), power, end-to-end inference latency, and energy per
+inference — i.e. what the paper's "full-scale DNN accelerators" conclusion
+is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.control import InferenceTiming, network_timing
+from ..core.memory import LayerMemory
+from ..core.positron import PositronNetwork, scalar_emac_for
+from . import virtex7 as dev
+from .design import EmacDesign
+from .power import energy_per_cycle_j
+from .resources import dsp_count, lut_count
+from .timing import fmax_hz
+
+__all__ = ["LayerSynthesis", "NetworkSynthesis", "synthesize_network"]
+
+
+@dataclass(frozen=True)
+class LayerSynthesis:
+    """Resources and timing of one layer (out_features EMAC instances)."""
+
+    design: EmacDesign
+    neurons: int
+    memory: LayerMemory
+
+    @property
+    def luts(self) -> int:
+        """LUTs of all EMACs in the layer."""
+        return lut_count(self.design).total * self.neurons
+
+    @property
+    def dsps(self) -> int:
+        """DSP48 slices of all EMACs in the layer."""
+        return dsp_count(self.design) * self.neurons
+
+    @property
+    def bram_blocks(self) -> int:
+        """RAMB18 tiles holding the layer's parameters."""
+        return self.memory.bram_blocks
+
+    @property
+    def fmax_hz(self) -> float:
+        """Clock bound imposed by this layer's EMAC."""
+        return fmax_hz(self.design)
+
+    @property
+    def energy_per_cycle_j(self) -> float:
+        """Switched energy of the whole layer per clock."""
+        return energy_per_cycle_j(self.design) * self.neurons
+
+
+@dataclass(frozen=True)
+class NetworkSynthesis:
+    """Whole-accelerator report for a Deep Positron network."""
+
+    layers: tuple[LayerSynthesis, ...]
+    timing: InferenceTiming
+
+    @property
+    def total_luts(self) -> int:
+        """LUTs across all layers."""
+        return sum(layer.luts for layer in self.layers)
+
+    @property
+    def total_dsps(self) -> int:
+        """DSP48 slices across all layers."""
+        return sum(layer.dsps for layer in self.layers)
+
+    @property
+    def total_bram_blocks(self) -> int:
+        """RAMB18 tiles across all layers."""
+        return sum(layer.bram_blocks for layer in self.layers)
+
+    @property
+    def clock_hz(self) -> float:
+        """Achievable clock: the slowest layer's EMAC bounds the design."""
+        return min(layer.fmax_hz for layer in self.layers)
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Dynamic power with every layer busy at the design clock."""
+        energy = sum(layer.energy_per_cycle_j for layer in self.layers)
+        return energy * self.clock_hz
+
+    @property
+    def total_power_w(self) -> float:
+        """Dynamic + static share."""
+        return self.dynamic_power_w + dev.P_STATIC_SHARE_W
+
+    @property
+    def latency_s(self) -> float:
+        """Single-sample inference latency at the design clock."""
+        return self.timing.latency_seconds(self.clock_hz)
+
+    def batch_latency_s(self, batch: int) -> float:
+        """Streaming latency for ``batch`` samples."""
+        return self.timing.batch_seconds(batch, self.clock_hz)
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        """Energy of one streamed inference at steady state."""
+        interval = self.timing.initiation_interval / self.clock_hz
+        return self.total_power_w * interval
+
+    def render(self) -> str:
+        """Human-readable synthesis report."""
+        lines = [
+            "Deep Positron accelerator synthesis",
+            f"{'layer':>5} {'EMACs':>6} {'fan-in':>7} {'LUTs':>8} {'DSPs':>6} "
+            f"{'BRAM':>5} {'Fmax':>9}",
+        ]
+        for i, layer in enumerate(self.layers):
+            lines.append(
+                f"{i:>5} {layer.neurons:>6} {layer.design.fan_in:>7} "
+                f"{layer.luts:>8} {layer.dsps:>6} {layer.bram_blocks:>5} "
+                f"{layer.fmax_hz / 1e6:>6.0f}MHz"
+            )
+        lines.append(
+            f"total: {self.total_luts} LUTs, {self.total_dsps} DSP48, "
+            f"{self.total_bram_blocks} RAMB18, clock {self.clock_hz / 1e6:.0f} MHz"
+        )
+        lines.append(
+            f"power {1e3 * self.total_power_w:.1f} mW, "
+            f"latency {1e6 * self.latency_s:.3f} us/sample, "
+            f"energy {1e6 * self.energy_per_inference_j:.3f} uJ/inference"
+        )
+        return "\n".join(lines)
+
+
+def synthesize_network(network: PositronNetwork) -> NetworkSynthesis:
+    """Roll up a trained/deployed network into an accelerator report."""
+    layers = []
+    for layer in network.layers:
+        design = EmacDesign.for_format(network.fmt, fan_in=layer.in_features)
+        layers.append(
+            LayerSynthesis(
+                design=design,
+                neurons=layer.out_features,
+                memory=layer.memory,
+            )
+        )
+    depth = scalar_emac_for(network.fmt).pipeline_depth
+    timing = network_timing(
+        [layer.in_features for layer in network.layers], depth
+    )
+    return NetworkSynthesis(layers=tuple(layers), timing=timing)

@@ -1,0 +1,111 @@
+"""Critical-path / Fmax model (paper Fig. 6).
+
+Each EMAC is pipelined as in Figs 3-5: a multiply stage, then a D flip-flop,
+then the accumulation stage.  Crucially, in the paper's figures the barrel
+shifter (fixed-point conversion) and — for float — the wide two's
+complement sit *after* the inter-stage register, inside the accumulation
+stage, together with the wide adder.  That loop-carried stage dominates the
+clock:
+
+* fixed:  wide adder only                      -> fastest at every n;
+* posit:  shifter + narrow 2's comp + adder    -> pays for quire width;
+* float:  shifter + WIDE 2's comp + adder      -> pays an extra wide carry
+  chain, which is why posit reaches a given dynamic range at a higher Fmax
+  (paper Section IV-A).
+
+Feed-forward stages (decode, DSP multiply, rounding/encode) are modeled too
+and can limit narrow designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from . import virtex7 as dev
+from .design import EmacDesign
+
+__all__ = ["StageTimes", "stage_times", "critical_path_s", "fmax_hz"]
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-pipeline-stage delays in seconds."""
+
+    decode: float
+    multiply: float
+    accumulate: float
+    encode: float
+
+    @property
+    def critical(self) -> float:
+        """Slowest stage — sets the clock period."""
+        return max(self.decode, self.multiply, self.accumulate, self.encode)
+
+
+def _levels(count: float) -> float:
+    return dev.T_CLOCK_OVERHEAD_S + count * dev.T_LUT_LEVEL_S
+
+
+def _carry(bits: int) -> float:
+    return bits * dev.T_CARRY_PER_BIT_S
+
+
+def stage_times(design: EmacDesign) -> StageTimes:
+    """Delays of the four pipeline stages of one EMAC."""
+    n = design.width
+    wa = design.accumulator_bits
+
+    if design.family == "fixed":
+        decode = 0.0
+        multiply = dev.T_DSP_STAGE_S
+        accumulate = _levels(1) + _carry(wa)  # adder + output mux level
+        encode = _levels(2) + _carry(n)  # clip comparator
+        return StageTimes(decode, multiply, accumulate, encode)
+
+    shifter_levels = design.shifter_stages
+    # The rounding/normalization path is feed-forward and runs once per dot
+    # product, so it is pipelined into an LZD stage and a shift/round stage;
+    # its contribution to the clock is the slower of the two.
+    norm_levels = max(1, math.ceil(math.log2(wa)))
+
+    if design.family == "float":
+        decode = _levels(2)  # subnormal detect + hidden-bit mux
+        multiply = dev.T_DSP_STAGE_S
+        accumulate = (
+            _levels(shifter_levels)
+            + _carry(wa)  # wide two's complement carry chain
+            + _carry(wa)  # wide accumulate adder
+        )
+        encode = max(
+            _levels(norm_levels),  # leading-zero detect over the register
+            _levels(2) + _carry(design.product_bits + 2),  # shift + round
+        )
+        return StageTimes(decode, multiply, accumulate, encode)
+
+    if design.family == "posit":
+        dec_levels = max(1, math.ceil(math.log2(n))) + 2  # LZD + shift + 2sC
+        decode = _levels(dec_levels) + _carry(n)
+        multiply = dev.T_DSP_STAGE_S
+        accumulate = (
+            _levels(shifter_levels)
+            + _carry(design.product_bits + 1)  # narrow 2's comp (Alg. 2 l.11)
+            + _carry(wa)  # quire adder
+        )
+        encode = max(
+            _levels(norm_levels),  # LZD over the quire
+            _levels(2) + _carry(2 * n),  # regime shift + round increment
+        )
+        return StageTimes(decode, multiply, accumulate, encode)
+
+    raise ValueError(f"unknown family {design.family!r}")
+
+
+def critical_path_s(design: EmacDesign) -> float:
+    """Clock period lower bound in seconds."""
+    return stage_times(design).critical
+
+
+def fmax_hz(design: EmacDesign) -> float:
+    """Maximum operating frequency in Hz."""
+    return 1.0 / critical_path_s(design)

@@ -1,0 +1,55 @@
+"""Virtex-7-class device constants.
+
+The paper synthesizes on an xc7vx485t-2ffg1761c with Vivado 2017.2,
+optimizing for latency and targeting DSP48 slices.  We model that device
+family with generic 28 nm constants.  Absolute numbers are calibrated, not
+extracted from Vivado; the reproduction target is the *relative* behaviour
+across formats (see DESIGN.md §4).  All constants live here so the
+calibration is auditable and adjustable in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "T_CLOCK_OVERHEAD_S",
+    "T_LUT_LEVEL_S",
+    "T_CARRY_PER_BIT_S",
+    "T_DSP_STAGE_S",
+    "LUT_CAL",
+    "E_LUT_TOGGLE_J",
+    "E_DSP_OP_J",
+    "ACTIVITY_FACTOR",
+    "P_STATIC_SHARE_W",
+    "DSP_MAX_WIDTH",
+]
+
+#: Clock-to-out + setup + one global route, charged to every pipeline stage.
+T_CLOCK_OVERHEAD_S = 0.90e-9
+
+#: One LUT logic level including local routing.
+T_LUT_LEVEL_S = 0.35e-9
+
+#: Carry-chain propagation per bit (CARRY4 ~ 4 bits / 60 ps).
+T_CARRY_PER_BIT_S = 0.015e-9
+
+#: A fully pipelined DSP48 multiply stage (MREG/PREG enabled, -2 grade).
+T_DSP_STAGE_S = 1.55e-9
+
+#: Global LUT-count calibration factor (synthesis overhead: control, muxing,
+#: replication) applied on top of the structural estimate.
+LUT_CAL = 1.4
+
+#: Dynamic energy of one toggling LUT (gate + local wire) per clock.
+E_LUT_TOGGLE_J = 0.5e-12
+
+#: Dynamic energy of one DSP48 multiply.
+E_DSP_OP_J = 4.0e-12
+
+#: Average switching activity of datapath logic.
+ACTIVITY_FACTOR = 0.15
+
+#: Static power apportioned to one EMAC experiment (device leakage share).
+P_STATIC_SHARE_W = 0.05
+
+#: Largest operand width a single DSP48 multiplier accepts (25x18 signed).
+DSP_MAX_WIDTH = 18

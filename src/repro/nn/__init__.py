@@ -1,0 +1,42 @@
+"""Training substrate: numpy MLPs, optimizers, metrics, and quantization.
+
+Supplies the float32 parent models that Deep Positron deploys at low
+precision, plus the format-configuration search used by the paper's sweeps.
+"""
+
+from .init import he_uniform, xavier_uniform, zeros_bias
+from .layers import Dense, ReLU, log_softmax, softmax
+from .model import MLP
+from .train import TrainConfig, TrainResult, cross_entropy_grad, train_classifier
+from .metrics import accuracy, confusion_matrix, degradation, per_class_accuracy
+from .quantize import (
+    FormatConfig,
+    best_fixed_q,
+    candidate_configs,
+    quantization_mse,
+    quantize_nearest,
+)
+
+__all__ = [
+    "he_uniform",
+    "xavier_uniform",
+    "zeros_bias",
+    "Dense",
+    "ReLU",
+    "softmax",
+    "log_softmax",
+    "MLP",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier",
+    "cross_entropy_grad",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "degradation",
+    "FormatConfig",
+    "quantize_nearest",
+    "quantization_mse",
+    "best_fixed_q",
+    "candidate_configs",
+]

@@ -1,0 +1,34 @@
+"""Weight initialization schemes (seeded, numpy-only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_uniform", "xavier_uniform", "zeros_bias"]
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He/Kaiming uniform init — suited to ReLU layers.
+
+    Returns a ``(fan_out, fan_in)`` float64 matrix drawn from
+    ``U(-sqrt(6/fan_in), +sqrt(6/fan_in))``.
+    """
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Xavier/Glorot uniform init — suited to linear/readout layers."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def zeros_bias(fan_out: int) -> np.ndarray:
+    """Zero bias vector of length ``fan_out``."""
+    if fan_out < 1:
+        raise ValueError("fan_out must be positive")
+    return np.zeros(fan_out, dtype=np.float64)

@@ -1,0 +1,106 @@
+"""Layers of the float training substrate.
+
+A minimal but complete autograd-free MLP stack: each layer implements
+``forward`` caching what ``backward`` needs, and ``backward`` returns the
+gradient with respect to its input while storing parameter gradients.  The
+networks trained here supply the float32 parent models that Deep Positron
+quantizes, mirroring the paper's methodology (train at high precision, infer
+at low precision without retraining).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import he_uniform, xavier_uniform, zeros_bias
+
+__all__ = ["Dense", "ReLU", "softmax", "log_softmax"]
+
+
+class Dense:
+    """Fully connected layer ``y = x @ W.T + b`` with gradient storage."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "he",
+    ):
+        if init == "he":
+            self.weight = he_uniform(rng, in_features, out_features)
+        elif init == "xavier":
+            self.weight = xavier_uniform(rng, in_features, out_features)
+        else:
+            raise ValueError(f"unknown init '{init}'")
+        self.bias = zeros_bias(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        """Fan-in."""
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        """Fan-out."""
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine transform; caches the input for the backward pass."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (batch, {self.in_features}) input, got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. input."""
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight = grad_out.T @ self._input
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs for the optimizer."""
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class ReLU:
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """max(x, 0); caches the active mask."""
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pass gradients only through active units."""
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Activations have no parameters."""
+        return []
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax (numerically stable)."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=1, keepdims=True))

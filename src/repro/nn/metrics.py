@@ -1,0 +1,55 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "per_class_accuracy", "degradation"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("shape mismatch between predictions and labels")
+    if predictions.size == 0:
+        raise ValueError("empty prediction array")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``(num_classes, num_classes)`` counts; rows = truth, cols = predicted."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("shape mismatch between predictions and labels")
+    if num_classes < 1:
+        raise ValueError("num_classes must be positive")
+    if predictions.size and (
+        predictions.min() < 0
+        or predictions.max() >= num_classes
+        or labels.min() < 0
+        or labels.max() >= num_classes
+    ):
+        raise ValueError("class index out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Recall per class (NaN for absent classes)."""
+    cm = confusion_matrix(predictions, labels, num_classes)
+    totals = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)
+
+
+def degradation(baseline_accuracy: float, accuracy_value: float) -> float:
+    """Accuracy drop vs a baseline, in percentage points (paper Fig. 9)."""
+    return 100.0 * (baseline_accuracy - accuracy_value)

@@ -1,0 +1,106 @@
+"""MLP container for the training substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .layers import Dense, ReLU, log_softmax, softmax
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """Feed-forward classifier: Dense/ReLU stacks with an affine readout.
+
+    ``topology = (inputs, hidden..., outputs)`` matches the Deep Positron
+    architecture of Fig. 1: ReLU after every hidden layer, identity readout.
+    """
+
+    def __init__(self, topology: Sequence[int], rng: np.random.Generator):
+        if len(topology) < 2:
+            raise ValueError("topology needs at least input and output sizes")
+        if any(t < 1 for t in topology):
+            raise ValueError("all layer sizes must be positive")
+        self.topology = tuple(int(t) for t in topology)
+        self.stack: list = []
+        for i, (fan_in, fan_out) in enumerate(zip(topology, topology[1:])):
+            last = i == len(topology) - 2
+            self.stack.append(
+                Dense(fan_in, fan_out, rng, init="xavier" if last else "he")
+            )
+            if not last:
+                self.stack.append(ReLU())
+
+    # ------------------------------------------------------------------
+    @property
+    def dense_layers(self) -> list[Dense]:
+        """The Dense layers, in order."""
+        return [m for m in self.stack if isinstance(m, Dense)]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a ``(batch, inputs)`` matrix."""
+        out = np.asarray(x, dtype=np.float64)
+        for module in self.stack:
+            out = module.forward(out)
+        return out
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backpropagate from the logits gradient; returns input gradient."""
+        grad = grad_logits
+        for module in reversed(self.stack):
+            grad = module.backward(grad)
+        return grad
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs across all layers."""
+        params = []
+        for module in self.stack:
+            params.extend(module.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class predictions."""
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy against integer labels."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    def nll(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean negative log-likelihood (cross-entropy) of labels."""
+        logp = log_softmax(self.forward(x))
+        rows = np.arange(len(y))
+        return float(-logp[rows, np.asarray(y)].mean())
+
+    # ------------------------------------------------------------------
+    def export_params(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Copies of (weights, biases) per dense layer, for quantization."""
+        weights = [layer.weight.copy() for layer in self.dense_layers]
+        biases = [layer.bias.copy() for layer in self.dense_layers]
+        return weights, biases
+
+    def import_params(
+        self, weights: Sequence[np.ndarray], biases: Sequence[np.ndarray]
+    ) -> None:
+        """Load parameters (shapes must match)."""
+        dense = self.dense_layers
+        if len(weights) != len(dense) or len(biases) != len(dense):
+            raise ValueError("parameter count mismatch")
+        for layer, w, b in zip(dense, weights, biases):
+            if layer.weight.shape != np.shape(w) or layer.bias.shape != np.shape(b):
+                raise ValueError("parameter shape mismatch")
+            layer.weight = np.array(w, dtype=np.float64)
+            layer.bias = np.array(b, dtype=np.float64)
+
+    def cast_float32(self) -> None:
+        """Round parameters through float32 — the paper's 32-bit baseline."""
+        for layer in self.dense_layers:
+            layer.weight = layer.weight.astype(np.float32).astype(np.float64)
+            layer.bias = layer.bias.astype(np.float32).astype(np.float64)

@@ -1,0 +1,156 @@
+"""Training loop: mini-batch SGD with momentum or Adam, early stopping.
+
+Cross-entropy over softmax logits; gradients flow through the
+:class:`~repro.nn.model.MLP` stack.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .layers import softmax
+from .model import MLP
+
+__all__ = ["TrainConfig", "TrainResult", "train_classifier", "cross_entropy_grad"]
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. logits: ``(p - y) / batch``."""
+    batch = logits.shape[0]
+    grad = softmax(logits)
+    grad[np.arange(batch), labels] -= 1.0
+    return grad / batch
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :func:`train_classifier`."""
+
+    epochs: int = 200
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    optimizer: str = "sgd"  # "sgd" | "adam"
+    adam_beta1: float = 0.9
+    adam_beta2: float = 0.999
+    adam_eps: float = 1e-8
+    early_stop_patience: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError("optimizer must be 'sgd' or 'adam'")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+@dataclass
+class TrainResult:
+    """Training outcome and learning curves."""
+
+    final_train_accuracy: float
+    final_valid_accuracy: float
+    best_valid_accuracy: float
+    epochs_run: int
+    train_loss_curve: list[float] = field(default_factory=list)
+    valid_accuracy_curve: list[float] = field(default_factory=list)
+
+
+class _Optimizer:
+    """SGD-with-momentum / Adam over (param, grad) pairs."""
+
+    def __init__(self, cfg: TrainConfig, params: list[tuple[np.ndarray, np.ndarray]]):
+        self.cfg = cfg
+        self.slots = [np.zeros_like(p) for p, _ in params]
+        self.slots2 = [np.zeros_like(p) for p, _ in params]
+        self.t = 0
+
+    def step(self, params: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        cfg = self.cfg
+        self.t += 1
+        for i, (param, grad) in enumerate(params):
+            g = grad + cfg.weight_decay * param
+            if cfg.optimizer == "sgd":
+                self.slots[i] = cfg.momentum * self.slots[i] - cfg.learning_rate * g
+                param += self.slots[i]
+            else:
+                self.slots[i] = cfg.adam_beta1 * self.slots[i] + (1 - cfg.adam_beta1) * g
+                self.slots2[i] = (
+                    cfg.adam_beta2 * self.slots2[i] + (1 - cfg.adam_beta2) * g * g
+                )
+                m_hat = self.slots[i] / (1 - cfg.adam_beta1**self.t)
+                v_hat = self.slots2[i] / (1 - cfg.adam_beta2**self.t)
+                param -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + cfg.adam_eps)
+
+
+def train_classifier(
+    model: MLP,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    valid_x: np.ndarray | None = None,
+    valid_y: np.ndarray | None = None,
+    config: TrainConfig | None = None,
+) -> TrainResult:
+    """Train ``model`` in place; returns curves and final metrics.
+
+    Early stopping tracks validation accuracy (falling back to training
+    accuracy when no validation split is given) and restores the best
+    parameters seen.
+    """
+    cfg = config or TrainConfig()
+    train_x = np.asarray(train_x, dtype=np.float64)
+    train_y = np.asarray(train_y, dtype=np.int64)
+    if valid_x is None or valid_y is None:
+        valid_x, valid_y = train_x, train_y
+    rng = np.random.default_rng(cfg.seed)
+    optimizer = _Optimizer(cfg, model.parameters())
+
+    best_acc = -1.0
+    best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+    stale = 0
+    loss_curve: list[float] = []
+    acc_curve: list[float] = []
+    epochs_run = 0
+
+    for epoch in range(cfg.epochs):
+        epochs_run = epoch + 1
+        order = rng.permutation(len(train_x))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(order), cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            logits = model.forward(train_x[idx])
+            grad = cross_entropy_grad(logits, train_y[idx])
+            model.backward(grad)
+            optimizer.step(model.parameters())
+            # Stable per-batch loss from the already computed logits.
+            z = logits - logits.max(axis=1, keepdims=True)
+            logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+            epoch_loss += float(-logp[np.arange(len(idx)), train_y[idx]].mean())
+            batches += 1
+        loss_curve.append(epoch_loss / max(1, batches))
+
+        acc = model.accuracy(valid_x, valid_y)
+        acc_curve.append(acc)
+        if acc > best_acc + 1e-12:
+            best_acc = acc
+            best_params = model.export_params()
+            stale = 0
+        else:
+            stale += 1
+            if stale >= cfg.early_stop_patience:
+                break
+
+    if best_params is not None:
+        model.import_params(*best_params)
+    return TrainResult(
+        final_train_accuracy=model.accuracy(train_x, train_y),
+        final_valid_accuracy=model.accuracy(valid_x, valid_y),
+        best_valid_accuracy=best_acc,
+        epochs_run=epochs_run,
+        train_loss_curve=loss_curve,
+        valid_accuracy_curve=acc_curve,
+    )

@@ -1,0 +1,184 @@
+"""Posit data extraction — the paper's Algorithm 1.
+
+Decoding a posit is nontrivial because the regime field has dynamic width.
+This module implements the extraction exactly as the EMAC hardware does:
+
+1. take the two's complement of negative inputs,
+2. detect the regime polarity from the bit just below the sign,
+3. count the run length (the hardware inverts so a single leading-zero
+   detector suffices; in Python we just count),
+4. peel off the regime terminator, exponent, and fraction fields.
+
+The result is a :class:`DecodedPosit` carrying the sign, the regime value
+``k``, the exponent ``e``, the combined scale factor ``k * 2**es + e``, and
+the significand with its hidden bit attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .format import PositFormat
+
+__all__ = ["DecodedPosit", "decode", "regime_run_length", "regime_of_run"]
+
+
+@dataclass(frozen=True)
+class DecodedPosit:
+    """Fields extracted from a posit bit pattern.
+
+    Attributes
+    ----------
+    fmt:
+        The posit format the pattern belongs to.
+    bits:
+        The original ``n``-bit pattern.
+    is_zero / is_nar:
+        Flags for the two reserved patterns.
+    sign:
+        1 for negative values, else 0.
+    regime:
+        The regime value ``k`` (run-length encoded field).
+    exponent:
+        The unsigned exponent ``e`` (0 when ``es == 0``).
+    scale:
+        ``k * 2**es + e`` — the power-of-two scale of the value.
+    fraction:
+        The raw fraction field as an unsigned integer.
+    fraction_bits:
+        Number of fraction bits physically present in the pattern.
+    """
+
+    fmt: PositFormat
+    bits: int
+    is_zero: bool
+    is_nar: bool
+    sign: int
+    regime: int
+    exponent: int
+    scale: int
+    fraction: int
+    fraction_bits: int
+
+    @property
+    def significand(self) -> int:
+        """Fraction with the hidden bit attached: ``1.f`` as an integer."""
+        return (1 << self.fraction_bits) | self.fraction
+
+    @property
+    def significand_fixed(self) -> int:
+        """Significand left-aligned to the format's widest significand.
+
+        This is the form the EMAC multiplier consumes: every input becomes a
+        ``1 + max_fraction_bits``-wide unsigned integer regardless of how many
+        fraction bits its pattern actually carried.
+        """
+        return self.significand << (self.fmt.max_fraction_bits - self.fraction_bits)
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value of the decoded posit.
+
+        Raises
+        ------
+        ValueError
+            If the pattern is NaR, which has no real value.
+        """
+        if self.is_nar:
+            raise ValueError("NaR has no rational value")
+        if self.is_zero:
+            return Fraction(0)
+        magnitude = Fraction(self.significand) * _pow2(self.scale - self.fraction_bits)
+        return -magnitude if self.sign else magnitude
+
+
+def _pow2(e: int) -> Fraction:
+    """Exact ``2**e`` as a Fraction for any integer ``e``."""
+    if e >= 0:
+        return Fraction(1 << e)
+    return Fraction(1, 1 << -e)
+
+
+def regime_run_length(body: int, width: int) -> int:
+    """Length of the run of identical leading bits of ``body``.
+
+    ``body`` is interpreted as a ``width``-bit unsigned field (the posit
+    pattern with the sign bit removed).  The run is counted from the most
+    significant bit; it is terminated either by the complement bit or by the
+    end of the field.
+    """
+    if width <= 0:
+        return 0
+    top = (body >> (width - 1)) & 1
+    run = 1
+    for i in range(width - 2, -1, -1):
+        if ((body >> i) & 1) == top:
+            run += 1
+        else:
+            break
+    return run
+
+
+def regime_of_run(leading_bit: int, run: int) -> int:
+    """Regime value ``k`` from the leading bit and run length (Table I).
+
+    A run of ``m`` zeros encodes ``k = -m``; a run of ``m`` ones encodes
+    ``k = m - 1``.
+    """
+    return run - 1 if leading_bit else -run
+
+
+def decode(fmt: PositFormat, bits: int) -> DecodedPosit:
+    """Extract sign, regime, exponent, and fraction from a posit pattern.
+
+    This is the software mirror of the paper's Algorithm 1.  The two's
+    complement is taken for negative inputs before field extraction, so the
+    returned fields always describe the magnitude.
+    """
+    if not fmt.valid_pattern(bits):
+        raise ValueError(f"pattern {bits:#x} out of range for {fmt}")
+
+    if bits == fmt.zero_pattern:
+        return DecodedPosit(fmt, bits, True, False, 0, 0, 0, 0, 0, 0)
+    if bits == fmt.nar_pattern:
+        return DecodedPosit(fmt, bits, False, True, 0, 0, 0, 0, 0, 0)
+
+    n = fmt.n
+    sign = (bits >> (n - 1)) & 1
+    magnitude = ((1 << n) - bits) & fmt.mask if sign else bits
+
+    body = magnitude & (fmt.sign_mask - 1)  # n-1 bits below the sign
+    body_width = n - 1
+
+    run = regime_run_length(body, body_width)
+    leading = (body >> (body_width - 1)) & 1
+    k = regime_of_run(leading, run)
+
+    # Bits remaining after the regime run and its terminator (the terminator
+    # is absent when the run reaches the end of the pattern).
+    rem_width = max(0, body_width - run - 1)
+    rem = body & ((1 << rem_width) - 1) if rem_width > 0 else 0
+
+    if rem_width >= fmt.es:
+        exponent = rem >> (rem_width - fmt.es) if fmt.es > 0 else 0
+        fraction_bits = rem_width - fmt.es
+        fraction = rem & ((1 << fraction_bits) - 1) if fraction_bits > 0 else 0
+    else:
+        # Exponent field truncated by the regime: missing low bits are zero.
+        exponent = rem << (fmt.es - rem_width)
+        fraction_bits = 0
+        fraction = 0
+
+    scale = (k << fmt.es) + exponent
+    return DecodedPosit(
+        fmt=fmt,
+        bits=bits,
+        is_zero=False,
+        is_nar=False,
+        sign=sign,
+        regime=k,
+        exponent=exponent,
+        scale=scale,
+        fraction=fraction,
+        fraction_bits=fraction_bits,
+    )

@@ -1,0 +1,151 @@
+"""Posit encoding with convergent (round-to-nearest-even) rounding.
+
+This is the software mirror of the tail of the paper's Algorithm 2
+("Convergent Rounding & Encoding").  The key property that makes posit
+rounding simple in hardware is that posit bit patterns are *monotonic* in
+value: truncating the infinitely precise encoded bit string yields the next
+posit below, and adding one to the truncated pattern yields the next posit
+above.  Round-to-nearest-even therefore reduces to the classic
+
+    round = guard AND (lsb OR sticky)
+
+increment on the truncated pattern (Algorithm 2, lines 39-41), regardless of
+whether the boundary being crossed is a fraction, exponent, or regime
+boundary.
+
+Two posit-standard special rules apply at the extremes:
+
+* values larger than ``maxpos`` round to ``maxpos`` (posits never overflow),
+* nonzero values smaller than ``minpos`` round to ``minpos`` (posits never
+  underflow to zero).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .format import PositFormat
+
+__all__ = ["encode_exact", "encode_fraction", "encode_float", "build_body"]
+
+
+def build_body(fmt: PositFormat, scale: int, frac: int, frac_bits: int) -> tuple[int, int]:
+    """Assemble the unrounded sign-free posit body.
+
+    Parameters
+    ----------
+    fmt:
+        Target posit format.
+    scale:
+        Power-of-two scale of the value (``k * 2**es + e``); must lie in
+        ``[min_scale, max_scale]``.
+    frac, frac_bits:
+        Fraction field below the hidden bit, as an unsigned integer of
+        ``frac_bits`` bits.  May be arbitrarily wide (e.g. a full quire's
+        worth of bits); no information is dropped here.
+
+    Returns
+    -------
+    (body, width):
+        The concatenated regime | terminator | exponent | fraction bit
+        string as an integer, and its width in bits.  Rounding to the
+        ``n - 1`` available magnitude bits is the caller's job.
+    """
+    k, e = divmod(scale, 1 << fmt.es) if fmt.es > 0 else (scale, 0)
+    if k >= 0:
+        # k encoded as k+1 ones followed by a zero terminator.
+        regime = ((1 << (k + 1)) - 1) << 1
+        regime_width = k + 2
+    else:
+        # k encoded as -k zeros followed by a one terminator.
+        regime = 1
+        regime_width = -k + 1
+    body = regime
+    body = (body << fmt.es) | e
+    body = (body << frac_bits) | frac
+    return body, regime_width + fmt.es + frac_bits
+
+
+def encode_exact(fmt: PositFormat, sign: int, mantissa: int, exponent: int) -> int:
+    """Round ``(-1)**sign * mantissa * 2**exponent`` to the nearest posit.
+
+    ``mantissa`` must be a non-negative integer; ``exponent`` any integer.
+    The computation is exact: arbitrarily wide mantissas (e.g. extracted from
+    a quire) round correctly in a single pass.
+
+    Returns the ``n``-bit posit pattern.
+    """
+    if mantissa < 0:
+        raise ValueError("mantissa must be non-negative; use the sign argument")
+    if mantissa == 0:
+        return fmt.zero_pattern
+
+    length = mantissa.bit_length()
+    scale = exponent + length - 1
+    frac_bits = length - 1
+    frac = mantissa - (1 << frac_bits)
+
+    if scale > fmt.max_scale:
+        pattern = fmt.maxpos_pattern
+    elif scale < fmt.min_scale:
+        pattern = fmt.minpos_pattern
+    elif scale == fmt.max_scale and frac:
+        # Above maxpos but below 2*maxpos: nearest representable is maxpos
+        # (there is no posit between maxpos and NaR to round up to).
+        pattern = fmt.maxpos_pattern
+    else:
+        body, width = build_body(fmt, scale, frac, frac_bits)
+        avail = fmt.n - 1
+        if width <= avail:
+            pattern = body << (avail - width)
+        else:
+            cut = width - avail
+            pattern = body >> cut
+            guard = (body >> (cut - 1)) & 1
+            sticky = 1 if body & ((1 << (cut - 1)) - 1) else 0
+            lsb = pattern & 1
+            pattern += guard & (lsb | sticky)
+            if pattern > fmt.maxpos_pattern:
+                pattern = fmt.maxpos_pattern
+            elif pattern == 0:
+                # Rounding never produces zero from a nonzero value.
+                pattern = fmt.minpos_pattern
+
+    if sign:
+        pattern = ((1 << fmt.n) - pattern) & fmt.mask
+    return pattern
+
+
+def encode_fraction(fmt: PositFormat, value: Fraction) -> int:
+    """Round an exact rational to the nearest posit pattern."""
+    if value == 0:
+        return fmt.zero_pattern
+    sign = 1 if value < 0 else 0
+    magnitude = -value if sign else value
+    num, den = magnitude.numerator, magnitude.denominator
+    # Express num/den as mantissa * 2**exponent with enough mantissa bits for
+    # correct rounding: scale the numerator so the quotient keeps more
+    # precision than any representable posit fraction, then keep an exact
+    # sticky via the remainder.
+    extra = fmt.n + 4 + max(0, den.bit_length() - num.bit_length() + 1)
+    shifted = num << extra
+    q, r = divmod(shifted, den)
+    # q * 2**-extra approximates the magnitude; fold the remainder into a
+    # sticky bit so round-to-nearest-even stays exact.
+    mantissa = (q << 1) | (1 if r else 0)
+    exponent = -(extra + 1)
+    return encode_exact(fmt, sign, mantissa, exponent)
+
+
+def encode_float(fmt: PositFormat, value: float) -> int:
+    """Round a Python float to the nearest posit pattern.
+
+    Raises
+    ------
+    ValueError
+        For NaN or infinite inputs; map them to NaR explicitly at a higher
+        level if that is the desired semantics.
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError("cannot encode non-finite float; use NaR explicitly")
+    return encode_fraction(fmt, Fraction(value))

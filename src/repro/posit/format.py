@@ -1,0 +1,188 @@
+"""Posit format descriptor.
+
+A posit environment is fully determined by two integers: ``n``, the total
+width in bits, and ``es``, the number of exponent bits.  This module provides
+:class:`PositFormat`, an immutable descriptor exposing every derived constant
+the rest of the library needs (useed, scale bounds, quire width, special bit
+patterns), mirroring the characteristics listed in Section III-D of the paper:
+
+    useed = 2 ** (2 ** es)
+    max   = useed ** (n - 2)
+    min   = useed ** (-(n - 2))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+import math
+
+__all__ = ["PositFormat", "posit8", "posit16", "posit32", "standard_format"]
+
+
+@dataclass(frozen=True)
+class PositFormat:
+    """Immutable descriptor of a posit environment ``(n, es)``.
+
+    Parameters
+    ----------
+    n:
+        Total number of bits.  Must be at least 3 (the smallest width for
+        which sign, regime, and regime terminator are all representable).
+    es:
+        Number of exponent bits.  Must be non-negative.  ``es`` may be
+        larger than the number of bits that can physically appear in a
+        pattern; trailing exponent bits are then implicitly zero, exactly as
+        in the posit standard.
+    """
+
+    n: int
+    es: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or not isinstance(self.es, int):
+            raise TypeError("n and es must be integers")
+        if self.n < 3:
+            raise ValueError(f"posit width n must be >= 3, got {self.n}")
+        if self.es < 0:
+            raise ValueError(f"es must be >= 0, got {self.es}")
+        if self.es > 8:
+            raise ValueError(f"es > 8 is unsupported (got {self.es})")
+
+    # ------------------------------------------------------------------
+    # Bit-pattern constants
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        """All-ones mask of width ``n``."""
+        return (1 << self.n) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        """Mask selecting the sign (most significant) bit."""
+        return 1 << (self.n - 1)
+
+    @property
+    def zero_pattern(self) -> int:
+        """The unique encoding of zero: all bits clear."""
+        return 0
+
+    @property
+    def nar_pattern(self) -> int:
+        """The encoding of NaR ("Not a Real"): sign bit set, rest clear."""
+        return 1 << (self.n - 1)
+
+    @property
+    def maxpos_pattern(self) -> int:
+        """Bit pattern of the largest positive posit (0111...1)."""
+        return (1 << (self.n - 1)) - 1
+
+    @property
+    def minpos_pattern(self) -> int:
+        """Bit pattern of the smallest positive posit (000...01)."""
+        return 1
+
+    @property
+    def num_patterns(self) -> int:
+        """Total number of distinct bit patterns, ``2**n``."""
+        return 1 << self.n
+
+    # ------------------------------------------------------------------
+    # Value-range constants
+    # ------------------------------------------------------------------
+    @property
+    def useed(self) -> int:
+        """``2 ** (2 ** es)`` — the regime base."""
+        return 1 << (1 << self.es)
+
+    @property
+    def max_scale(self) -> int:
+        """Largest power-of-two scale: ``(n - 2) * 2**es`` (maxpos)."""
+        return (self.n - 2) << self.es
+
+    @property
+    def min_scale(self) -> int:
+        """Smallest power-of-two scale: ``-(n - 2) * 2**es`` (minpos)."""
+        return -self.max_scale
+
+    @property
+    def maxpos(self) -> Fraction:
+        """Value of the largest positive posit, ``useed ** (n - 2)``."""
+        return Fraction(self.useed) ** (self.n - 2)
+
+    @property
+    def minpos(self) -> Fraction:
+        """Value of the smallest positive posit, ``useed ** -(n - 2)``."""
+        return Fraction(1, self.useed ** (self.n - 2))
+
+    @property
+    def dynamic_range(self) -> float:
+        """``log10(max / min)`` as used by the paper's Fig. 6."""
+        # max/min = useed ** (2n - 4) = 2 ** (2**es * (2n - 4))
+        return (1 << self.es) * (2 * self.n - 4) * math.log10(2.0)
+
+    # ------------------------------------------------------------------
+    # Field-width constants
+    # ------------------------------------------------------------------
+    @property
+    def max_fraction_bits(self) -> int:
+        """Widest possible fraction field, ``max(0, n - 3 - es)``.
+
+        Achieved when the regime occupies its minimum two bits.  The paper's
+        EMAC datapath (Fig. 5) sizes its multiplier for this width.
+        """
+        return max(0, self.n - 3 - self.es)
+
+    @property
+    def significand_bits(self) -> int:
+        """Hidden bit + widest fraction: the EMAC multiplier input width."""
+        return 1 + self.max_fraction_bits
+
+    @property
+    def scale_bias(self) -> int:
+        """Bias applied to scale factors in the EMAC, ``2**(es+1) * (n-2)``.
+
+        Biasing the product scale factor by this amount makes its minimum
+        value zero, so a single left shifter suffices for fixed-point
+        conversion (paper Section III-D).
+        """
+        return (1 << (self.es + 1)) * (self.n - 2)
+
+    def quire_bits(self, k: int) -> int:
+        """Quire width for ``k`` accumulated products — paper eq. (4).
+
+        ``qsize = 2**(es+2) * (n - 2) + 2 + ceil(log2 k)``, valid for n >= 3.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        carry = 0 if k == 1 else math.ceil(math.log2(k))
+        return (1 << (self.es + 2)) * (self.n - 2) + 2 + carry
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def valid_pattern(self, bits: int) -> bool:
+        """Whether ``bits`` is a valid ``n``-bit pattern."""
+        return 0 <= bits <= self.mask
+
+    def all_patterns(self) -> range:
+        """Iterate every representable bit pattern, ``0 .. 2**n - 1``."""
+        return range(self.num_patterns)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"posit<{self.n},{self.es}>"
+
+
+@lru_cache(maxsize=None)
+def standard_format(n: int, es: int) -> PositFormat:
+    """Memoized :class:`PositFormat` constructor (formats are tiny, cache them)."""
+    return PositFormat(n, es)
+
+
+#: The 8-bit posit used throughout the paper's Table II experiments.
+posit8 = standard_format(8, 0)
+#: 16-bit posit with one exponent bit (posit standard draft of the era).
+posit16 = standard_format(16, 1)
+#: 32-bit posit with two exponent bits.
+posit32 = standard_format(32, 2)

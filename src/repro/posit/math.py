@@ -1,0 +1,92 @@
+"""Correctly rounded posit math functions and IEEE interchange.
+
+Beyond the ALU operations of :class:`~repro.posit.value.Posit`, a usable
+posit library needs a few transcendental-adjacent functions and a bridge to
+IEEE 754 data.  Everything here is *correctly rounded*: computed exactly
+(or to provably sufficient precision) and rounded once.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+import struct
+
+from .encode import encode_exact, encode_fraction
+from .format import PositFormat
+from .value import Posit
+
+__all__ = ["sqrt", "reciprocal", "pow2_int", "from_float32_bits", "to_float32_bits"]
+
+
+def _isqrt(n: int) -> int:
+    """Floor integer square root (math.isqrt exists, kept explicit)."""
+    import math
+
+    return math.isqrt(n)
+
+
+def sqrt(p: Posit) -> Posit:
+    """Correctly rounded posit square root.
+
+    NaR for negative inputs and NaR (posits have no -0); exact zero maps to
+    zero.
+    """
+    fmt = p.fmt
+    if p.is_nar or p.is_negative:
+        return Posit.nar(fmt)
+    if p.is_zero:
+        return Posit.zero(fmt)
+    value = p.to_fraction()
+    # Work with ~3n guard bits: far beyond any rounding boundary ambiguity
+    # for an n-bit posit (boundaries are (n+1)-bit posit values).
+    precision = 3 * fmt.n + 8
+    num, den = value.numerator, value.denominator
+    # Normalize to sqrt(m) * 2**e with m in [1, 4).
+    e = num.bit_length() - den.bit_length()
+    if e % 2:
+        e -= 1
+    m = value / Fraction(2) ** e  # in [1, 4) roughly
+    scaled = (m.numerator << (2 * precision)) // m.denominator
+    root = _isqrt(scaled)
+    exact = root * root * m.denominator == m.numerator << (2 * precision)
+    mantissa = (root << 1) | (0 if exact else 1)  # sticky bit
+    exponent = e // 2 - precision - 1
+    return Posit(fmt, encode_exact(fmt, 0, mantissa, exponent))
+
+
+def reciprocal(p: Posit) -> Posit:
+    """Correctly rounded ``1 / p`` (NaR for zero and NaR inputs)."""
+    fmt = p.fmt
+    if p.is_nar or p.is_zero:
+        return Posit.nar(fmt)
+    return Posit(fmt, encode_fraction(fmt, 1 / p.to_fraction()))
+
+
+def pow2_int(fmt: PositFormat, k: int) -> Posit:
+    """The posit nearest to ``2**k`` (saturates at maxpos/minpos)."""
+    return Posit(fmt, encode_exact(fmt, 0, 1, k))
+
+
+def from_float32_bits(fmt: PositFormat, bits: int) -> Posit:
+    """Convert an IEEE binary32 bit pattern to the nearest posit.
+
+    Infinities and NaN map to NaR; signed zero maps to posit zero.
+    """
+    if not 0 <= bits <= 0xFFFFFFFF:
+        raise ValueError("binary32 pattern out of range")
+    value = struct.unpack(">f", struct.pack(">I", bits))[0]
+    if value != value or value in (float("inf"), float("-inf")):
+        return Posit.nar(fmt)
+    return Posit.from_value(fmt, float(value))
+
+
+def to_float32_bits(p: Posit) -> int:
+    """Convert a posit to the nearest IEEE binary32 bit pattern.
+
+    NaR maps to the canonical quiet NaN; values beyond binary32's range
+    overflow to infinity per IEEE semantics.
+    """
+    if p.is_nar:
+        return 0x7FC00000
+    value = float(p)  # correctly rounded: float() goes through Fraction
+    return struct.unpack(">I", struct.pack(">f", value))[0]

@@ -1,0 +1,158 @@
+"""The quire — posit fixed-point accumulator (Kulisch accumulator).
+
+The paper accumulates EMAC products in a register sized by eq. (4):
+
+    qsize = 2**(es+2) * (n - 2) + 2 + ceil(log2 k)
+
+Products of two posits have scale factors in
+``[2 * min_scale, 2 * max_scale]`` and significand products of
+``2 * (1 + max_fraction_bits)`` bits; shifting each product into a register
+with ``2**(es+2) * (n-2) + 2`` value bits (plus carry headroom) makes the sum
+exact.  The quire here is an arbitrary-precision Python integer scaled by a
+fixed binary point, so it never overflows regardless of k; :meth:`fits_hw`
+reports whether a given accumulation would still fit the paper's hardware
+register.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .decode import decode
+from .encode import encode_exact
+from .format import PositFormat
+from .value import Posit
+
+__all__ = ["Quire"]
+
+
+class Quire:
+    """Exact accumulator for posit sums and dot products.
+
+    The internal state is ``value = _acc * 2**-_frac_bits`` where
+    ``_frac_bits = 2 * (max_scale + max_fraction_bits)`` — enough fractional
+    positions that any product of two posits of the format is an integer
+    multiple of the quire LSB.
+    """
+
+    __slots__ = ("fmt", "_acc", "_count")
+
+    def __init__(self, fmt: PositFormat):
+        self.fmt = fmt
+        self._acc = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def frac_bits(self) -> int:
+        """Binary point position: quire LSB is ``2**-frac_bits``."""
+        return 2 * (self.fmt.max_scale + self.fmt.max_fraction_bits)
+
+    @property
+    def count(self) -> int:
+        """Number of products accumulated since the last clear."""
+        return self._count
+
+    def clear(self) -> None:
+        """Reset the accumulator to zero."""
+        self._acc = 0
+        self._count = 0
+
+    def load(self, value: Posit) -> None:
+        """Reset the accumulator to ``value`` (the EMAC bias preload)."""
+        self.clear()
+        self.add(value)
+
+    # ------------------------------------------------------------------
+    def add(self, value: Posit) -> None:
+        """Accumulate a single posit exactly."""
+        if value.fmt != self.fmt:
+            raise TypeError(f"format mismatch: {value.fmt} vs {self.fmt}")
+        if value.is_nar:
+            raise ArithmeticError("cannot accumulate NaR")
+        if value.is_zero:
+            self._count += 1
+            return
+        d = value.decoded
+        shift = self.frac_bits + d.scale - d.fraction_bits
+        if shift < 0:
+            raise AssertionError("quire binary point too narrow (internal bug)")
+        term = d.significand << shift
+        self._acc += -term if d.sign else term
+        self._count += 1
+
+    def multiply_accumulate(self, weight: Posit, activation: Posit) -> None:
+        """Accumulate the exact product of two posits (one EMAC step)."""
+        if weight.fmt != self.fmt or activation.fmt != self.fmt:
+            raise TypeError("format mismatch in multiply_accumulate")
+        if weight.is_nar or activation.is_nar:
+            raise ArithmeticError("cannot accumulate NaR")
+        if weight.is_zero or activation.is_zero:
+            self._count += 1
+            return
+        dw, da = weight.decoded, activation.decoded
+        sig = dw.significand * da.significand
+        scale = dw.scale + da.scale - dw.fraction_bits - da.fraction_bits
+        term = sig << (self.frac_bits + scale)  # scale + frac_bits >= 0 by sizing
+        self._acc += -term if dw.sign ^ da.sign else term
+        self._count += 1
+
+    def dot(self, weights, activations) -> Posit:
+        """Exact dot product: accumulate all pairs, then round once."""
+        if len(weights) != len(activations):
+            raise ValueError("weights and activations must have equal length")
+        for w, a in zip(weights, activations):
+            self.multiply_accumulate(w, a)
+        return self.to_posit()
+
+    # ------------------------------------------------------------------
+    def to_fraction(self) -> Fraction:
+        """Exact rational value of the accumulator."""
+        return Fraction(self._acc, 1 << self.frac_bits)
+
+    def to_posit(self) -> Posit:
+        """Round the accumulated value to the nearest posit (single rounding)."""
+        if self._acc == 0:
+            return Posit.zero(self.fmt)
+        sign = 1 if self._acc < 0 else 0
+        mag = -self._acc if sign else self._acc
+        bits = encode_exact(self.fmt, sign, mag, -self.frac_bits)
+        return Posit(self.fmt, bits)
+
+    def fits_hw(self, k: int | None = None) -> bool:
+        """Whether the current value fits the paper's eq. (4) register.
+
+        Equation (4) sizes the quire with one bit per binary position from
+        ``2**(2*min_scale)`` (the smallest possible nonzero bit of a posit
+        product — patterns with extreme regimes carry few fraction bits, so
+        product LSBs never fall below this) up to ``2**(2*max_scale)``, plus
+        a sign bit and ``ceil(log2 k)`` carry bits.  This method checks both
+        halves of that claim for the current accumulation: alignment of the
+        value to the hardware LSB, and magnitude within the carry headroom.
+        """
+        k = k if k is not None else max(1, self._count)
+        hw_lsb_exp = 2 * self.fmt.min_scale  # weight of the register's LSB
+        # Alignment: value must be an integer multiple of 2**hw_lsb_exp.
+        excess = self.frac_bits + hw_lsb_exp  # bits of _acc below the HW LSB
+        if excess > 0 and self._acc & ((1 << excess) - 1):
+            return False
+        # Magnitude: |value| <= k * maxpos**2.
+        limit = k * (1 << (4 * self.fmt.max_scale))  # maxpos^2 in HW-LSB units
+        return abs(self._acc >> max(0, excess)) <= limit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Quire({self.fmt}, value={float(self.to_fraction())!r}, count={self._count})"
+
+
+def _selftest() -> None:  # pragma: no cover - developer aid
+    fmt = PositFormat(8, 0)
+    q = Quire(fmt)
+    xs = [Posit.from_value(fmt, v) for v in (0.5, 0.25, -0.125)]
+    ws = [Posit.from_value(fmt, v) for v in (1.0, 2.0, 4.0)]
+    out = q.dot(ws, xs)
+    assert float(out) == 0.5 + 0.5 - 0.5
+    assert decode(fmt, out.bits).scale == -1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _selftest()

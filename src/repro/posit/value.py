@@ -1,0 +1,253 @@
+"""Scalar posit value type.
+
+:class:`Posit` wraps an ``(n, es)`` format plus an ``n``-bit pattern and
+provides exact arithmetic: every operation decodes to exact rationals,
+computes the true result, and rounds once with round-to-nearest-even.  This
+is the semantics of a correctly rounded posit ALU and is what the EMAC
+reference models are verified against.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .decode import DecodedPosit, decode
+from .encode import encode_exact, encode_fraction, encode_float
+from .format import PositFormat
+
+__all__ = ["Posit", "NaRError"]
+
+_Number = Union[int, float, Fraction, "Posit"]
+
+
+class NaRError(ArithmeticError):
+    """Raised when an operation's result is NaR and strict mode is active."""
+
+
+class Posit:
+    """An immutable posit number.
+
+    Construct from a bit pattern with :meth:`from_bits`, or from a numeric
+    value with :meth:`from_value` (which rounds).  Arithmetic between posits
+    of the same format is correctly rounded; mixing formats raises.
+    """
+
+    __slots__ = ("_fmt", "_bits", "_decoded")
+
+    def __init__(self, fmt: PositFormat, bits: int):
+        if not fmt.valid_pattern(bits):
+            raise ValueError(f"pattern {bits:#x} out of range for {fmt}")
+        self._fmt = fmt
+        self._bits = bits
+        self._decoded: DecodedPosit | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, fmt: PositFormat, bits: int) -> "Posit":
+        """Wrap an existing ``n``-bit pattern."""
+        return cls(fmt, bits)
+
+    @classmethod
+    def from_value(cls, fmt: PositFormat, value: _Number) -> "Posit":
+        """Round any real number to the nearest posit of ``fmt``."""
+        if isinstance(value, Posit):
+            if value.fmt == fmt:
+                return value
+            if value.is_nar:
+                return cls.nar(fmt)
+            return cls(fmt, encode_fraction(fmt, value.to_fraction()))
+        if isinstance(value, bool):
+            raise TypeError("refusing to interpret bool as a posit value")
+        if isinstance(value, int):
+            return cls(fmt, encode_fraction(fmt, Fraction(value)))
+        if isinstance(value, Fraction):
+            return cls(fmt, encode_fraction(fmt, value))
+        if isinstance(value, float):
+            return cls(fmt, encode_float(fmt, value))
+        raise TypeError(f"cannot build a posit from {type(value).__name__}")
+
+    @classmethod
+    def zero(cls, fmt: PositFormat) -> "Posit":
+        """The posit zero."""
+        return cls(fmt, fmt.zero_pattern)
+
+    @classmethod
+    def nar(cls, fmt: PositFormat) -> "Posit":
+        """NaR — Not a Real."""
+        return cls(fmt, fmt.nar_pattern)
+
+    @classmethod
+    def maxpos(cls, fmt: PositFormat) -> "Posit":
+        """Largest positive posit."""
+        return cls(fmt, fmt.maxpos_pattern)
+
+    @classmethod
+    def minpos(cls, fmt: PositFormat) -> "Posit":
+        """Smallest positive posit."""
+        return cls(fmt, fmt.minpos_pattern)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> PositFormat:
+        """The posit format of this value."""
+        return self._fmt
+
+    @property
+    def bits(self) -> int:
+        """The raw ``n``-bit pattern."""
+        return self._bits
+
+    @property
+    def decoded(self) -> DecodedPosit:
+        """Lazily decoded field view of the pattern."""
+        if self._decoded is None:
+            self._decoded = decode(self._fmt, self._bits)
+        return self._decoded
+
+    @property
+    def is_zero(self) -> bool:
+        """True if this is the zero pattern."""
+        return self._bits == self._fmt.zero_pattern
+
+    @property
+    def is_nar(self) -> bool:
+        """True if this is the NaR pattern."""
+        return self._bits == self._fmt.nar_pattern
+
+    @property
+    def is_negative(self) -> bool:
+        """True for strictly negative real values (NaR is not negative)."""
+        return not self.is_nar and bool(self._bits & self._fmt.sign_mask)
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value (raises :class:`NaRError` for NaR)."""
+        if self.is_nar:
+            raise NaRError("NaR has no rational value")
+        return self.decoded.to_fraction()
+
+    def __float__(self) -> float:
+        if self.is_nar:
+            return float("nan")
+        return float(self.to_fraction())
+
+    # ------------------------------------------------------------------
+    # Arithmetic (exact compute, single rounding)
+    # ------------------------------------------------------------------
+    def _coerce(self, other: _Number) -> "Posit":
+        if isinstance(other, Posit):
+            if other._fmt != self._fmt:
+                raise TypeError(f"format mismatch: {self._fmt} vs {other._fmt}")
+            return other
+        return Posit.from_value(self._fmt, other)
+
+    def _round(self, value: Fraction) -> "Posit":
+        return Posit(self._fmt, encode_fraction(self._fmt, value))
+
+    def __add__(self, other: _Number) -> "Posit":
+        rhs = self._coerce(other)
+        if self.is_nar or rhs.is_nar:
+            return Posit.nar(self._fmt)
+        return self._round(self.to_fraction() + rhs.to_fraction())
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Number) -> "Posit":
+        rhs = self._coerce(other)
+        if self.is_nar or rhs.is_nar:
+            return Posit.nar(self._fmt)
+        return self._round(self.to_fraction() - rhs.to_fraction())
+
+    def __rsub__(self, other: _Number) -> "Posit":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: _Number) -> "Posit":
+        rhs = self._coerce(other)
+        if self.is_nar or rhs.is_nar:
+            return Posit.nar(self._fmt)
+        return self._round(self.to_fraction() * rhs.to_fraction())
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Number) -> "Posit":
+        rhs = self._coerce(other)
+        if self.is_nar or rhs.is_nar or rhs.is_zero:
+            return Posit.nar(self._fmt)
+        return self._round(self.to_fraction() / rhs.to_fraction())
+
+    def __rtruediv__(self, other: _Number) -> "Posit":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Posit":
+        if self.is_nar or self.is_zero:
+            return self
+        return Posit(self._fmt, ((1 << self._fmt.n) - self._bits) & self._fmt.mask)
+
+    def __abs__(self) -> "Posit":
+        return -self if self.is_negative else self
+
+    def fma(self, mul: _Number, add: _Number) -> "Posit":
+        """Fused multiply-add ``self * mul + add`` with a single rounding."""
+        m = self._coerce(mul)
+        a = self._coerce(add)
+        if self.is_nar or m.is_nar or a.is_nar:
+            return Posit.nar(self._fmt)
+        return self._round(self.to_fraction() * m.to_fraction() + a.to_fraction())
+
+    # ------------------------------------------------------------------
+    # Comparisons — posits compare like their two's complement patterns
+    # ------------------------------------------------------------------
+    def _signed_pattern(self) -> int:
+        bits = self._bits
+        if bits & self._fmt.sign_mask:
+            bits -= 1 << self._fmt.n
+        return bits
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Posit):
+            return self._fmt == other._fmt and self._bits == other._bits
+        if isinstance(other, (int, float, Fraction)):
+            if self.is_nar:
+                return False
+            try:
+                return self.to_fraction() == Fraction(other)
+            except (ValueError, OverflowError):
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._fmt, self._bits))
+
+    def _cmp_key(self, other: _Number) -> tuple[int, int]:
+        rhs = self._coerce(other)
+        if self.is_nar or rhs.is_nar:
+            raise NaRError("NaR is unordered")
+        return self._signed_pattern(), rhs._signed_pattern()
+
+    def __lt__(self, other: _Number) -> bool:
+        a, b = self._cmp_key(other)
+        return a < b
+
+    def __le__(self, other: _Number) -> bool:
+        a, b = self._cmp_key(other)
+        return a <= b
+
+    def __gt__(self, other: _Number) -> bool:
+        a, b = self._cmp_key(other)
+        return a > b
+
+    def __ge__(self, other: _Number) -> bool:
+        a, b = self._cmp_key(other)
+        return a >= b
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_nar:
+            return f"Posit({self._fmt}, NaR)"
+        return f"Posit({self._fmt}, {float(self)!r}, bits={self._bits:#0{2 + (self._fmt.n + 3) // 4}x})"

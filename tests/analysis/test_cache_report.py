@@ -1,0 +1,107 @@
+"""Tests for the experiment cache and text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_bar,
+    cached_json,
+    render_figure9,
+    render_histogram,
+    render_series,
+    render_table2,
+)
+from repro.analysis.histograms import Histogram
+
+
+class TestCache:
+    def test_compute_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1}
+
+        assert cached_json("thing", compute) == {"x": 1}
+        assert cached_json("thing", compute) == {"x": 1}
+        assert len(calls) == 1
+        assert (tmp_path / "thing.json").exists()
+
+    def test_disable_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        assert cached_json("thing", compute) == 7
+        assert cached_json("thing", compute) == 7
+        assert len(calls) == 2
+
+    def test_corrupt_cache_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cached_json("bad", lambda: [1, 2]) == [1, 2]
+
+    def test_clear(self, tmp_path, monkeypatch):
+        from repro.analysis import clear_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cached_json("a", lambda: 1)
+        clear_cache()
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestRenderers:
+    def test_ascii_bar(self):
+        assert ascii_bar(5, 10, width=10) == "#####"
+        assert ascii_bar(20, 10, width=10) == "#" * 10
+        with pytest.raises(ValueError):
+            ascii_bar(1, 0)
+
+    def test_render_table2(self):
+        rows = [
+            {
+                "dataset": "iris",
+                "inference_size": 50,
+                "posit": 0.98,
+                "posit_config": "posit<8,1>",
+                "float": 0.96,
+                "float_config": "float<1,4,3>",
+                "fixed": 0.92,
+                "fixed_config": "fixed<8,4>",
+                "float32": 0.98,
+            }
+        ]
+        text = render_table2(rows)
+        assert "iris" in text and "98.00%" in text and "92.00%" in text
+        assert "posit<8,1>" in text
+
+    def test_render_series(self):
+        text = render_series(
+            "Fig test",
+            {"posit": [(5, 1e-10)], "fixed": [(5, 2e-11)]},
+            x_label="n",
+            y_label="EDP",
+        )
+        assert "posit" in text and "1.000e-10" in text
+
+    def test_render_figure9(self):
+        series = {
+            "posit": [{"n": 8, "avg_degradation_pct": 0.3, "avg_edp": 1e-10}]
+        }
+        text = render_figure9(series)
+        assert "posit" in text and "0.300" in text
+
+    def test_render_histogram(self):
+        hist = Histogram(np.array([0.0, 1.0, 2.0]), np.array([2.0, 4.0]))
+        text = render_histogram("H", hist, width=8)
+        assert "H" in text and "########" in text
+
+    def test_render_empty_histogram_raises(self):
+        hist = Histogram(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            render_histogram("H", hist)

@@ -1,0 +1,70 @@
+"""Fig. 2 study tests: posit values and DNN weights cluster in [-1, 1]."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Histogram,
+    in_unit_fraction,
+    posit_value_histogram,
+    weight_histogram,
+)
+from repro.posit.format import standard_format
+
+
+class TestPositValueHistogram:
+    def test_counts_cover_all_reals(self):
+        fmt = standard_format(7, 0)
+        hist = posit_value_histogram(fmt)
+        assert hist.total == fmt.num_patterns - 1  # all but NaR
+
+    def test_paper_fig2a_clustering(self):
+        """Most 7-bit (es=0) posit values lie in [-1, 1]."""
+        hist = posit_value_histogram(standard_format(7, 0))
+        assert in_unit_fraction(hist) > 0.5
+
+    def test_symmetry(self):
+        hist = posit_value_histogram(standard_format(7, 0), bins=41)
+        # posit value sets are symmetric around zero
+        assert np.allclose(hist.counts, hist.counts[::-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            posit_value_histogram(standard_format(7, 0), bins=0)
+
+
+class TestWeightHistogram:
+    def test_pooled_layers(self, rng):
+        weights = [rng.normal(scale=0.3, size=(5, 4)), rng.normal(scale=0.3, size=(3, 5))]
+        hist = weight_histogram(weights)
+        assert hist.total == 35
+
+    def test_paper_fig2b_clustering(self, rng):
+        """Trained-like (small-scale) weights cluster in [-1, 1]."""
+        hist = weight_histogram(rng.normal(scale=0.4, size=5000))
+        assert in_unit_fraction(hist) > 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weight_histogram(np.array([]))
+
+    def test_clipping_into_edge_bins(self):
+        hist = weight_histogram(np.array([100.0, -100.0]), value_range=(-2.5, 2.5))
+        assert hist.counts[0] == 1 and hist.counts[-1] == 1
+
+
+class TestHistogramType:
+    def test_normalized(self):
+        hist = Histogram(np.array([0.0, 1.0, 2.0]), np.array([3.0, 1.0]))
+        norm = hist.normalized()
+        assert norm.total == pytest.approx(1.0)
+
+    def test_normalize_empty_raises(self):
+        hist = Histogram(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            hist.normalized()
+
+    def test_in_unit_fraction_empty_raises(self):
+        hist = Histogram(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            in_unit_fraction(hist)

@@ -1,0 +1,77 @@
+"""Tests for the dataflow timing model and memory accounting."""
+
+import pytest
+
+from repro.core import InferenceTiming, LayerMemory, layer_cycles, network_timing
+from repro.core.memory import BRAM_KBITS
+
+
+class TestLayerCycles:
+    def test_basic(self):
+        assert layer_cycles(10, 2) == 12
+        assert layer_cycles(1, 0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_cycles(0, 2)
+        with pytest.raises(ValueError):
+            layer_cycles(4, -1)
+
+
+class TestNetworkTiming:
+    def test_streaming_pipeline(self):
+        timing = network_timing([30, 16, 8], pipeline_depth=4)
+        assert timing.per_layer_cycles == (34, 20, 12)
+        assert timing.latency_cycles == 66
+        assert timing.initiation_interval == 34
+
+    def test_batch_cycles(self):
+        timing = network_timing([4, 4], pipeline_depth=2)
+        assert timing.batch_cycles(1) == timing.latency_cycles
+        # Steady state: one extra II per additional sample.
+        assert timing.batch_cycles(5) == timing.latency_cycles + 4 * 6
+
+    def test_seconds_conversions(self):
+        timing = network_timing([8], pipeline_depth=2)
+        assert timing.latency_seconds(1e6) == pytest.approx(10e-6)
+        assert timing.batch_seconds(2, 1e6) == pytest.approx(20e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_timing([], 2)
+        timing = network_timing([4], 2)
+        with pytest.raises(ValueError):
+            timing.batch_cycles(0)
+        with pytest.raises(ValueError):
+            timing.latency_seconds(0)
+
+
+class TestLayerMemory:
+    def test_for_layer(self):
+        mem = LayerMemory.for_layer(16, 30, 8)
+        assert mem.weight_words == 480
+        assert mem.bias_words == 16
+        assert mem.total_bits == 496 * 8
+
+    def test_bram_blocks(self):
+        small = LayerMemory.for_layer(2, 2, 8)
+        assert small.bram_blocks == 1
+        big = LayerMemory.for_layer(128, 128, 8)
+        expected_bits = (128 * 128 + 128) * 8
+        assert big.bram_blocks == -(-expected_bits // (BRAM_KBITS * 1024))
+
+    def test_add(self):
+        a = LayerMemory.for_layer(4, 4, 8)
+        b = LayerMemory.for_layer(2, 4, 8)
+        total = a + b
+        assert total.weight_words == 24 and total.bias_words == 6
+
+    def test_add_width_mismatch(self):
+        with pytest.raises(ValueError):
+            LayerMemory.for_layer(2, 2, 8) + LayerMemory.for_layer(2, 2, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerMemory.for_layer(0, 4, 8)
+        with pytest.raises(ValueError):
+            LayerMemory.for_layer(4, 4, 0)

@@ -1,0 +1,311 @@
+"""Cross-validation of the three EMAC soft cores against exact references.
+
+The defining property of an EMAC (paper Section III-A): the output equals
+the infinitely precise dot product rounded/truncated ONCE to the output
+format.  We verify each core against `fractions.Fraction` arithmetic and
+probe the paper-specific behaviours (bias preload, fixed-point truncation,
+no-overflow clamping, quire sizing).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import FixedEmac, FloatEmac, PositEmac
+from repro.fixedpoint import Fixed, fixed_format, quantize_floor
+from repro.floatp import float_format
+from repro.floatp.codec import decode as fdecode
+from repro.floatp.codec import encode_fraction as fencode
+from repro.posit import Posit, decode as pdecode, encode_fraction as pencode
+from repro.posit.format import standard_format
+
+
+def random_patterns(rng, fmt, k, forbidden=()):
+    out = []
+    for _ in range(k):
+        bits = int(rng.integers(0, fmt.num_patterns))
+        while bits in forbidden:
+            bits = int(rng.integers(0, fmt.num_patterns))
+        out.append(bits)
+    return out
+
+
+class TestFixedEmac:
+    def test_simple_dot(self):
+        fmt = fixed_format(8, 4)
+        emac = FixedEmac(fmt)
+        w = [Fixed.from_value(fmt, 0.5).bits, Fixed.from_value(fmt, 2.0).bits]
+        a = [Fixed.from_value(fmt, 1.0).bits, Fixed.from_value(fmt, 0.25).bits]
+        out = emac.dot(w, a)
+        assert Fixed.from_bits(fmt, out).to_fraction() == Fraction(1)
+
+    def test_matches_exact_reference(self, fixed_fmt, rng):
+        emac = FixedEmac(fixed_fmt)
+        for _ in range(100):
+            k = int(rng.integers(1, 20))
+            ws = random_patterns(rng, fixed_fmt, k)
+            xs = random_patterns(rng, fixed_fmt, k)
+            out = emac.dot(ws, xs)
+            exact = sum(
+                Fixed.from_bits(fixed_fmt, w).to_fraction()
+                * Fixed.from_bits(fixed_fmt, x).to_fraction()
+                for w, x in zip(ws, xs)
+            )
+            expect = quantize_floor(fixed_fmt, exact) & fixed_fmt.mask
+            assert out == expect
+
+    def test_output_truncates_not_rounds(self):
+        """Paper Fig. 3: the sum is shifted right by q and truncated."""
+        fmt = fixed_format(8, 4)
+        emac = FixedEmac(fmt)
+        # 0.0625 * 0.9375 = 0.05859...: floor -> raw 0, RNE would give raw 1.
+        w = Fixed.from_value(fmt, 0.0625).bits
+        a = Fixed.from_value(fmt, 0.9375).bits
+        assert emac.dot([w], [a]) == 0
+
+    def test_clips_at_magnitude(self):
+        fmt = fixed_format(8, 4)
+        emac = FixedEmac(fmt)
+        mx = Fixed.from_raw(fmt, fmt.int_max).bits
+        out = emac.dot([mx, mx], [mx, mx])
+        assert Fixed.from_bits(fmt, out).raw == fmt.int_max
+        mn = Fixed.from_raw(fmt, fmt.int_min).bits
+        out = emac.dot([mx, mx], [mn, mn])
+        assert Fixed.from_bits(fmt, out).raw == fmt.int_min
+
+    def test_bias_preload(self, fixed_fmt, rng):
+        emac = FixedEmac(fixed_fmt)
+        for _ in range(20):
+            bias = random_patterns(rng, fixed_fmt, 1)[0]
+            ws = random_patterns(rng, fixed_fmt, 5)
+            xs = random_patterns(rng, fixed_fmt, 5)
+            out = emac.dot(ws, xs, bias_bits=bias)
+            exact = Fixed.from_bits(fixed_fmt, bias).to_fraction() + sum(
+                Fixed.from_bits(fixed_fmt, w).to_fraction()
+                * Fixed.from_bits(fixed_fmt, x).to_fraction()
+                for w, x in zip(ws, xs)
+            )
+            assert out == quantize_floor(fixed_fmt, exact) & fixed_fmt.mask
+
+    def test_accumulator_width_respects_eq3(self, fixed_fmt):
+        """Worst-case accumulation stays within the eq. (3) register."""
+        k = 16
+        emac = FixedEmac(fixed_fmt)
+        emac.reset()
+        mn = fixed_fmt.int_min & fixed_fmt.mask
+        for _ in range(k):
+            emac.step(mn, mn)
+        assert emac.accumulator_bits_used() <= fixed_fmt.accumulator_bits(k)
+
+    def test_invalid_pattern_rejected(self, fixed_fmt):
+        emac = FixedEmac(fixed_fmt)
+        emac.reset()
+        with pytest.raises(ValueError):
+            emac.step(1 << fixed_fmt.n, 0)
+        with pytest.raises(ValueError):
+            emac.reset(bias_bits=-1)
+
+
+class TestFloatEmac:
+    def test_matches_exact_reference(self, float_fmt, rng):
+        emac = FloatEmac(float_fmt)
+        reserved = {
+            b
+            for b in float_fmt.all_patterns()
+            if fdecode(float_fmt, b).is_reserved
+        }
+        for _ in range(100):
+            k = int(rng.integers(1, 20))
+            ws = random_patterns(rng, float_fmt, k, forbidden=reserved)
+            xs = random_patterns(rng, float_fmt, k, forbidden=reserved)
+            out = emac.dot(ws, xs)
+            exact = sum(
+                fdecode(float_fmt, w).to_fraction()
+                * fdecode(float_fmt, x).to_fraction()
+                for w, x in zip(ws, xs)
+            )
+            expect = fencode(float_fmt, exact)
+            assert fdecode(float_fmt, out).to_fraction() == fdecode(
+                float_fmt, expect
+            ).to_fraction()
+
+    def test_single_rounding_beats_iterative(self):
+        """The EMAC must not lose small addends the way rounded adds do."""
+        fmt = float_format(4, 3)
+        emac = FloatEmac(fmt)
+        one = fencode(fmt, Fraction(1))
+        tiny = fencode(fmt, fmt.min_value)  # smallest subnormal
+        # 1 + 64 * tiny = 1.125: each rounded add of a single tiny to 1
+        # would vanish (tiny is far below half an ULP of 1), but the exact
+        # accumulator keeps them all and rounds once at the end.
+        ws = [one] + [tiny] * 64
+        ones = [one] * 65
+        out = emac.dot(ws, ones)
+        exact = Fraction(1) + 64 * fmt.min_value
+        assert fdecode(fmt, out).to_fraction() == fdecode(
+            fmt, fencode(fmt, exact)
+        ).to_fraction()
+        assert fdecode(fmt, out).to_fraction() > 1
+
+    def test_no_overflow_to_infinity(self, float_fmt):
+        emac = FloatEmac(float_fmt)
+        mx = fencode(float_fmt, float_fmt.max_value)
+        out = emac.dot([mx] * 4, [mx] * 4)
+        d = fdecode(float_fmt, out)
+        assert not d.is_reserved
+        assert d.to_fraction() == float_fmt.max_value
+
+    def test_subnormal_inputs(self, float_fmt):
+        emac = FloatEmac(float_fmt)
+        sub = 1  # smallest subnormal pattern
+        out = emac.dot([sub], [sub])
+        exact = float_fmt.min_value**2
+        assert fdecode(float_fmt, out).to_fraction() == fdecode(
+            float_fmt, fencode(float_fmt, exact)
+        ).to_fraction()
+
+    def test_reserved_input_rejected(self, float_fmt):
+        emac = FloatEmac(float_fmt)
+        emac.reset()
+        inf_like = ((1 << float_fmt.we) - 1) << float_fmt.wf
+        with pytest.raises(ValueError):
+            emac.step(inf_like, 0)
+
+    def test_bias_preload(self, float_fmt, rng):
+        emac = FloatEmac(float_fmt)
+        reserved = {
+            b for b in float_fmt.all_patterns() if fdecode(float_fmt, b).is_reserved
+        }
+        bias = random_patterns(rng, float_fmt, 1, forbidden=reserved)[0]
+        ws = random_patterns(rng, float_fmt, 6, forbidden=reserved)
+        xs = random_patterns(rng, float_fmt, 6, forbidden=reserved)
+        out = emac.dot(ws, xs, bias_bits=bias)
+        exact = fdecode(float_fmt, bias).to_fraction() + sum(
+            fdecode(float_fmt, w).to_fraction() * fdecode(float_fmt, x).to_fraction()
+            for w, x in zip(ws, xs)
+        )
+        assert fdecode(float_fmt, out).to_fraction() == fdecode(
+            float_fmt, fencode(float_fmt, exact)
+        ).to_fraction()
+
+    def test_accumulator_width_respects_eq3(self, float_fmt):
+        k = 16
+        emac = FloatEmac(float_fmt)
+        emac.reset()
+        mx = fencode(float_fmt, float_fmt.max_value)
+        for _ in range(k):
+            emac.step(mx, mx)
+        assert emac.accumulator_bits_used() <= float_fmt.accumulator_bits(k)
+
+
+class TestPositEmac:
+    def test_matches_exact_reference(self, posit_fmt, rng):
+        emac = PositEmac(posit_fmt)
+        for _ in range(100):
+            k = int(rng.integers(1, 20))
+            ws = random_patterns(rng, posit_fmt, k, forbidden={posit_fmt.nar_pattern})
+            xs = random_patterns(rng, posit_fmt, k, forbidden={posit_fmt.nar_pattern})
+            out = emac.dot(ws, xs)
+            exact = sum(
+                pdecode(posit_fmt, w).to_fraction()
+                * pdecode(posit_fmt, x).to_fraction()
+                for w, x in zip(ws, xs)
+            )
+            assert out == pencode(posit_fmt, exact)
+
+    def test_quire_never_overflows_to_nar(self, posit_fmt):
+        emac = PositEmac(posit_fmt)
+        mx = posit_fmt.maxpos_pattern
+        out = emac.dot([mx] * 8, [mx] * 8)
+        assert out == posit_fmt.maxpos_pattern  # clamps, never NaR
+
+    def test_sum_underflow_clamps_to_minpos(self, posit_fmt):
+        emac = PositEmac(posit_fmt)
+        mn = posit_fmt.minpos_pattern
+        out = emac.dot([mn], [mn])
+        assert out == posit_fmt.minpos_pattern
+
+    def test_exact_cancellation(self, posit_fmt):
+        """maxpos*maxpos - maxpos*maxpos + minpos*1 == minpos, exactly."""
+        emac = PositEmac(posit_fmt)
+        mx = posit_fmt.maxpos_pattern
+        neg_mx = ((1 << posit_fmt.n) - mx) & posit_fmt.mask
+        one = pencode(posit_fmt, Fraction(1))
+        out = emac.dot([mx, neg_mx, posit_fmt.minpos_pattern], [mx, mx, one])
+        assert out == posit_fmt.minpos_pattern
+
+    def test_nar_input_rejected(self, posit_fmt):
+        emac = PositEmac(posit_fmt)
+        emac.reset()
+        with pytest.raises(ValueError):
+            emac.step(posit_fmt.nar_pattern, 0)
+        with pytest.raises(ValueError):
+            emac.reset(bias_bits=posit_fmt.nar_pattern)
+
+    def test_bias_preload(self, posit_fmt, rng):
+        emac = PositEmac(posit_fmt)
+        bias = random_patterns(rng, posit_fmt, 1, forbidden={posit_fmt.nar_pattern})[0]
+        ws = random_patterns(rng, posit_fmt, 6, forbidden={posit_fmt.nar_pattern})
+        xs = random_patterns(rng, posit_fmt, 6, forbidden={posit_fmt.nar_pattern})
+        out = emac.dot(ws, xs, bias_bits=bias)
+        exact = pdecode(posit_fmt, bias).to_fraction() + sum(
+            pdecode(posit_fmt, w).to_fraction() * pdecode(posit_fmt, x).to_fraction()
+            for w, x in zip(ws, xs)
+        )
+        assert out == pencode(posit_fmt, exact)
+
+    def test_scale_bias_matches_paper(self, posit_fmt):
+        assert PositEmac(posit_fmt).scale_bias == 2 ** (posit_fmt.es + 1) * (
+            posit_fmt.n - 2
+        )
+
+    def test_quire_width_respects_eq4(self, posit_fmt):
+        """Worst-case accumulation fits the eq. (4) register."""
+        k = 16
+        emac = PositEmac(posit_fmt)
+        emac.reset()
+        mx = posit_fmt.maxpos_pattern
+        for _ in range(k):
+            emac.step(mx, mx)
+        # The quire register in our model carries extra always-zero low bits
+        # (aligned-significand trailing zeros); the *value* magnitude must
+        # fit eq. (4)'s integer range.
+        value = abs(emac.accumulator_value())
+        assert value <= k * posit_fmt.maxpos**2
+        hw_lsb = Fraction(1, 4 ** (posit_fmt.max_scale))
+        assert (value / hw_lsb).denominator == 1  # aligned to the HW LSB
+
+    def test_agrees_with_quire_class(self, posit_fmt, rng):
+        from repro.posit import Quire
+
+        emac = PositEmac(posit_fmt)
+        q = Quire(posit_fmt)
+        ws = random_patterns(rng, posit_fmt, 10, forbidden={posit_fmt.nar_pattern})
+        xs = random_patterns(rng, posit_fmt, 10, forbidden={posit_fmt.nar_pattern})
+        out_emac = emac.dot(ws, xs)
+        out_quire = q.dot(
+            [Posit.from_bits(posit_fmt, b) for b in ws],
+            [Posit.from_bits(posit_fmt, b) for b in xs],
+        )
+        assert out_emac == out_quire.bits
+
+
+class TestEmacInterface:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: FixedEmac(fixed_format(8, 4)),
+            lambda: FloatEmac(float_format(4, 3)),
+            lambda: PositEmac(standard_format(8, 1)),
+        ],
+        ids=["fixed", "float", "posit"],
+    )
+    def test_common_protocol(self, make):
+        emac = make()
+        assert emac.width == 8
+        assert emac.name in ("fixed", "float", "posit")
+        assert emac.cycles(16) == 16 + emac.pipeline_depth
+        with pytest.raises(ValueError):
+            emac.cycles(0)
+        with pytest.raises(ValueError):
+            emac.dot([0], [0, 0])

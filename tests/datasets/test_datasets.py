@@ -1,0 +1,163 @@
+"""Dataset generator tests: paper sizes, determinism, learnability structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LOADERS,
+    MUSHROOM_CARDINALITIES,
+    load_iris,
+    load_mushroom,
+    load_wbc,
+)
+from repro.datasets.wbc import WBC_BENIGN, WBC_MALIGNANT
+
+
+class TestPaperSizes:
+    """Table II's inference sizes: WBC 190, Iris 50, Mushroom 2708."""
+
+    def test_wbc_sizes(self):
+        ds = load_wbc()
+        assert ds.inference_size == 190
+        assert len(ds.train_y) + len(ds.test_y) == WBC_BENIGN + WBC_MALIGNANT == 569
+        assert ds.num_features == 30
+        assert ds.num_classes == 2
+
+    def test_iris_sizes(self):
+        ds = load_iris()
+        assert ds.inference_size == 50
+        assert len(ds.train_y) + len(ds.test_y) == 150
+        assert ds.num_features == 4
+        assert ds.num_classes == 3
+
+    def test_mushroom_sizes(self):
+        ds = load_mushroom()
+        assert ds.inference_size == 2708
+        assert len(ds.train_y) + len(ds.test_y) == 8124
+        assert ds.num_features == sum(MUSHROOM_CARDINALITIES)
+        assert ds.num_classes == 2
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(LOADERS))
+    def test_same_seed_same_data(self, name):
+        a = LOADERS[name]()
+        b = LOADERS[name]()
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    @pytest.mark.parametrize("name", sorted(LOADERS))
+    def test_different_seed_different_data(self, name):
+        a = LOADERS[name](seed=1)
+        b = LOADERS[name](seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    @pytest.mark.parametrize("name", sorted(LOADERS))
+    def test_validate_passes(self, name):
+        LOADERS[name]().validate()
+
+
+class TestStratification:
+    def test_iris_test_split_balanced(self):
+        ds = load_iris()
+        __, counts = np.unique(ds.test_y, return_counts=True)
+        assert np.all(counts >= 16) and counts.sum() == 50
+
+    def test_wbc_class_ratio_preserved(self):
+        ds = load_wbc()
+        test_ratio = float(np.mean(ds.test_y))
+        overall = WBC_MALIGNANT / (WBC_BENIGN + WBC_MALIGNANT)
+        assert abs(test_ratio - overall) < 0.02
+
+
+class TestStructure:
+    def test_wbc_scale_heterogeneity(self):
+        """The raw-scale spread that defeats fixed-point must be present."""
+        ds = load_wbc()
+        col_means = np.abs(ds.train_x).mean(axis=0)
+        assert col_means.max() / col_means.min() > 300
+
+    def test_wbc_features_positive(self):
+        ds = load_wbc()
+        assert ds.train_x.min() > 0
+
+    def test_iris_centimeter_scale(self):
+        ds = load_iris()
+        assert 0.0 < ds.train_x.min() < 1.0
+        assert 4.0 < ds.train_x.max() < 12.0
+
+    def test_mushroom_is_one_hot(self):
+        ds = load_mushroom()
+        assert set(np.unique(ds.train_x)) == {0.0, 1.0}
+        # each attribute block has exactly one hot column per row
+        start = 0
+        for card in MUSHROOM_CARDINALITIES[:5]:
+            block = ds.train_x[:, start : start + card]
+            if card > 1:
+                assert np.all(block.sum(axis=1) == 1.0)
+            start += card
+
+    def test_mushroom_dominant_attribute_is_informative(self):
+        """A single attribute should nearly classify (like odor in UCI)."""
+        ds = load_mushroom()
+        start = sum(MUSHROOM_CARDINALITIES[:4])
+        card = MUSHROOM_CARDINALITIES[4]
+        block = ds.train_x[:, start : start + card]
+        category = block.argmax(axis=1)
+        # majority vote per category
+        correct = 0
+        for c in range(card):
+            mask = category == c
+            if mask.sum() == 0:
+                continue
+            majority = np.bincount(ds.train_y[mask].astype(int)).argmax()
+            correct += int((ds.train_y[mask] == majority).sum())
+        assert correct / len(ds.train_y) > 0.93
+
+
+class TestSplitsUtilities:
+    def test_stratified_split_exact_size(self, rng):
+        from repro.datasets import stratified_split
+
+        x = rng.normal(size=(101, 3))
+        y = np.array([0] * 34 + [1] * 33 + [2] * 34)
+        train_x, train_y, test_x, test_y = stratified_split(x, y, 31, rng)
+        assert len(test_y) == 31 and len(train_y) == 70
+
+    def test_stratified_split_validation(self, rng):
+        from repro.datasets import stratified_split
+
+        x = rng.normal(size=(10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            stratified_split(x, y, 10, rng)
+
+    def test_one_hot_validation(self):
+        from repro.datasets import one_hot
+
+        with pytest.raises(ValueError):
+            one_hot(np.array([[2]]), [2])  # value out of cardinality
+
+    def test_standardize_uses_train_stats(self, rng):
+        from repro.datasets import standardize
+
+        train = rng.normal(loc=5, scale=3, size=(100, 2))
+        test = rng.normal(loc=5, scale=3, size=(20, 2))
+        train_s, test_s = standardize(train, test)
+        assert np.allclose(train_s.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(train_s.std(axis=0), 1, atol=1e-9)
+        assert not np.allclose(test_s.mean(axis=0), 0, atol=1e-3)
+
+    def test_dataset_validate_catches_bad_labels(self):
+        from repro.datasets import Dataset
+
+        ds = Dataset(
+            name="bad",
+            train_x=np.zeros((2, 2)),
+            train_y=np.array([0, 5]),
+            test_x=np.zeros((1, 2)),
+            test_y=np.array([0]),
+            class_names=("a", "b"),
+        )
+        with pytest.raises(ValueError):
+            ds.validate()

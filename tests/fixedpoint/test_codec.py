@@ -1,0 +1,68 @@
+"""Tests for fixed-point vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    dequantize_array,
+    fixed_format,
+    pattern_array,
+    quantize_array,
+    quantize_rne,
+    relu_patterns,
+    signed_array,
+)
+from fractions import Fraction
+
+Q84 = fixed_format(8, 4)
+
+
+class TestQuantizeArray:
+    def test_matches_scalar_rne(self, fixed_fmt, rng):
+        values = rng.normal(size=200) * 4
+        got = quantize_array(fixed_fmt, values)
+        for v, bits in zip(values, got):
+            raw = quantize_rne(fixed_fmt, Fraction(float(v)))
+            assert int(bits) == raw & fixed_fmt.mask
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            quantize_array(Q84, np.array([np.nan]))
+
+    def test_shape_preserved(self, rng):
+        assert quantize_array(Q84, rng.normal(size=(2, 5))).shape == (2, 5)
+
+
+class TestSignedPatternRoundtrip:
+    def test_roundtrip(self, fixed_fmt):
+        patterns = np.arange(fixed_fmt.num_patterns, dtype=np.uint32)
+        signed = signed_array(fixed_fmt, patterns)
+        assert signed.min() == fixed_fmt.int_min
+        assert signed.max() == fixed_fmt.int_max
+        assert np.array_equal(pattern_array(fixed_fmt, signed), patterns)
+
+    def test_signed_range_check(self):
+        with pytest.raises(ValueError):
+            signed_array(Q84, np.array([256]))
+
+    def test_pattern_range_check(self):
+        with pytest.raises(ValueError):
+            pattern_array(Q84, np.array([200]))
+
+
+class TestDequantize:
+    def test_values(self, fixed_fmt):
+        patterns = np.arange(fixed_fmt.num_patterns, dtype=np.uint32)
+        values = dequantize_array(fixed_fmt, patterns)
+        signed = signed_array(fixed_fmt, patterns)
+        assert np.allclose(values, signed / 2**fixed_fmt.q)
+
+
+class TestRelu:
+    def test_negative_to_zero(self, fixed_fmt):
+        patterns = np.arange(fixed_fmt.num_patterns, dtype=np.uint32)
+        out = relu_patterns(fixed_fmt, patterns)
+        values = dequantize_array(fixed_fmt, patterns)
+        expected_zero = values < 0
+        assert np.all(out[expected_zero] == 0)
+        assert np.array_equal(out[~expected_zero], patterns[~expected_zero])

@@ -1,0 +1,74 @@
+"""Tests for repro.fixedpoint.format."""
+
+from fractions import Fraction
+
+import math
+import pytest
+
+from repro.fixedpoint import FixedFormat, fixed_format, q8_4, q8_7
+
+
+class TestValidation:
+    def test_width_minimum(self):
+        with pytest.raises(ValueError):
+            FixedFormat(1, 0)
+
+    def test_q_range(self):
+        with pytest.raises(ValueError):
+            FixedFormat(8, 8)
+        with pytest.raises(ValueError):
+            FixedFormat(8, -1)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            FixedFormat(8, 4.0)
+
+
+class TestRanges:
+    def test_int_bounds(self, fixed_fmt):
+        assert fixed_fmt.int_max == 2 ** (fixed_fmt.n - 1) - 1
+        assert fixed_fmt.int_min == -(2 ** (fixed_fmt.n - 1))
+
+    def test_value_bounds(self, fixed_fmt):
+        assert fixed_fmt.max_value == Fraction(fixed_fmt.int_max, 2**fixed_fmt.q)
+        assert fixed_fmt.min_value == Fraction(1, 2**fixed_fmt.q)
+        assert fixed_fmt.lowest_value == Fraction(fixed_fmt.int_min, 2**fixed_fmt.q)
+
+    def test_q8_presets(self):
+        assert float(q8_4.max_value) == pytest.approx(7.9375)
+        assert float(q8_7.max_value) == pytest.approx(0.9921875)
+
+    def test_dynamic_range_independent_of_q(self):
+        # max/min = 2^(n-1)-1 regardless of the binary point.
+        assert fixed_format(8, 2).dynamic_range == pytest.approx(
+            fixed_format(8, 6).dynamic_range
+        )
+        assert fixed_format(8, 4).dynamic_range == pytest.approx(
+            math.log10(127), rel=1e-12
+        )
+
+    def test_accumulator_bits_equation3(self, fixed_fmt):
+        span = math.ceil(math.log2(fixed_fmt.max_value / fixed_fmt.min_value))
+        assert fixed_fmt.accumulator_bits(16) == 4 + 2 * span + 2
+
+    def test_accumulator_invalid_k(self, fixed_fmt):
+        with pytest.raises(ValueError):
+            fixed_fmt.accumulator_bits(0)
+
+
+class TestPatternConversion:
+    def test_signed_roundtrip(self, fixed_fmt):
+        for bits in fixed_fmt.all_patterns():
+            signed = fixed_fmt.to_signed(bits)
+            assert fixed_fmt.int_min <= signed <= fixed_fmt.int_max
+            assert fixed_fmt.to_pattern(signed) == bits
+
+    def test_to_pattern_range_check(self, fixed_fmt):
+        with pytest.raises(ValueError):
+            fixed_fmt.to_pattern(fixed_fmt.int_max + 1)
+
+    def test_memoized(self):
+        assert fixed_format(8, 4) is fixed_format(8, 4)
+
+    def test_str(self):
+        assert str(q8_4) == "fixed<8,4>"

@@ -1,0 +1,111 @@
+"""Tests for the Fixed scalar type and quantization rules."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fixedpoint import Fixed, fixed_format, quantize_floor, quantize_rne
+
+Q84 = fixed_format(8, 4)
+
+
+class TestQuantizeRne:
+    def test_exact_values(self):
+        assert quantize_rne(Q84, Fraction(1, 2)) == 8
+        assert quantize_rne(Q84, Fraction(-3, 4)) == -12
+
+    def test_ties_to_even(self):
+        # 1/32 is exactly between raw 0 and raw 1 -> even (0).
+        assert quantize_rne(Q84, Fraction(1, 32)) == 0
+        # 3/32 between raw 1 and 2 -> even (2).
+        assert quantize_rne(Q84, Fraction(3, 32)) == 2
+        assert quantize_rne(Q84, Fraction(-1, 32)) == 0
+        assert quantize_rne(Q84, Fraction(-3, 32)) == -2
+
+    def test_saturation(self):
+        assert quantize_rne(Q84, Fraction(1000)) == Q84.int_max
+        assert quantize_rne(Q84, Fraction(-1000)) == Q84.int_min
+
+    def test_matches_float_rint(self, fixed_fmt, rng):
+        import numpy as np
+
+        for _ in range(300):
+            x = float(rng.normal() * 4)
+            expected = int(np.clip(np.rint(x * 2**fixed_fmt.q),
+                                   fixed_fmt.int_min, fixed_fmt.int_max))
+            assert quantize_rne(fixed_fmt, Fraction(x)) == expected
+
+
+class TestQuantizeFloor:
+    def test_floor_semantics(self):
+        assert quantize_floor(Q84, Fraction(1, 32)) == 0
+        assert quantize_floor(Q84, Fraction(-1, 32)) == -1  # floor, not trunc
+
+    def test_saturation(self):
+        assert quantize_floor(Q84, Fraction(10**9)) == Q84.int_max
+        assert quantize_floor(Q84, Fraction(-(10**9))) == Q84.int_min
+
+
+class TestFixedValue:
+    def test_raw_range_check(self, fixed_fmt):
+        with pytest.raises(ValueError):
+            Fixed(fixed_fmt, fixed_fmt.int_max + 1)
+
+    def test_from_bits_roundtrip(self, fixed_fmt):
+        for bits in fixed_fmt.all_patterns():
+            f = Fixed.from_bits(fixed_fmt, bits)
+            assert f.bits == bits
+            assert f.to_fraction() == Fraction(f.raw, 2**fixed_fmt.q)
+
+    def test_from_value(self):
+        f = Fixed.from_value(Q84, 0.5)
+        assert float(f) == 0.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Fixed.from_value(Q84, True)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed.from_value(Q84, float("nan"))
+
+    def test_add_saturates(self):
+        mx = Fixed.from_raw(Q84, Q84.int_max)
+        assert (mx + mx).raw == Q84.int_max
+        mn = Fixed.from_raw(Q84, Q84.int_min)
+        assert (mn + mn).raw == Q84.int_min
+
+    def test_add_exact_within_range(self):
+        a = Fixed.from_value(Q84, 1.25)
+        b = Fixed.from_value(Q84, 2.5)
+        assert float(a + b) == 3.75
+        assert float(a - b) == -1.25
+
+    def test_mul_rounds_rne(self):
+        a = Fixed.from_value(Q84, 0.3125)  # raw 5
+        b = Fixed.from_value(Q84, 0.3125)
+        # 25/256 = raw 1.5625 -> RNE to raw 2.
+        assert (a * b).raw == 2
+
+    def test_neg_abs(self):
+        a = Fixed.from_value(Q84, -1.5)
+        assert float(-a) == 1.5
+        assert float(abs(a)) == 1.5
+
+    def test_neg_of_int_min_saturates(self):
+        mn = Fixed.from_raw(Q84, Q84.int_min)
+        assert (-mn).raw == Q84.int_max
+
+    def test_comparisons(self):
+        a, b = Fixed.from_value(Q84, 0.5), Fixed.from_value(Q84, 1.5)
+        assert a < b and b > a and a <= a and a == 0.5
+
+    def test_format_mismatch(self):
+        with pytest.raises(TypeError):
+            Fixed.from_value(Q84, 1) + Fixed.from_value(fixed_format(6, 3), 1)
+
+    def test_hashable(self):
+        assert len({Fixed.from_value(Q84, 1), Fixed.from_value(Q84, 1)}) == 1
+
+    def test_repr(self):
+        assert "0.5" in repr(Fixed.from_value(Q84, 0.5))

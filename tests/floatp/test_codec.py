@@ -1,0 +1,167 @@
+"""Tests for repro.floatp.codec (decode/encode with subnormals)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.floatp import FloatP, decode, encode_exact, encode_float, encode_fraction
+from repro.floatp.format import float_format
+
+F43 = float_format(4, 3)
+
+
+def all_finite(fmt):
+    """(value, bits) for every finite pattern, sorted by value; -0 excluded."""
+    pairs = []
+    for bits in fmt.all_patterns():
+        d = decode(fmt, bits)
+        if d.is_reserved:
+            continue
+        if d.sign and d.significand == 0:
+            continue  # skip -0 (duplicate value)
+        pairs.append((d.to_fraction(), bits))
+    pairs.sort()
+    return pairs
+
+
+class TestDecode:
+    def test_zero_patterns(self, float_fmt):
+        plus = decode(float_fmt, 0)
+        minus = decode(float_fmt, float_fmt.sign_mask)
+        assert plus.is_zero and plus.to_fraction() == 0
+        assert minus.to_fraction() == 0 and minus.sign == 1
+
+    def test_subnormal_flagging(self, float_fmt):
+        smallest = decode(float_fmt, 1)
+        assert smallest.is_subnormal
+        assert smallest.to_fraction() == float_fmt.min_value
+
+    def test_subnormal_no_hidden_bit(self, float_fmt):
+        for frac in range(1, min(8, 1 << float_fmt.wf)):
+            d = decode(float_fmt, frac)
+            assert d.significand == frac  # hidden bit absent
+
+    def test_normal_hidden_bit(self, float_fmt):
+        one = encode_fraction(float_fmt, Fraction(1))
+        d = decode(float_fmt, one)
+        assert d.significand == 1 << float_fmt.wf
+
+    def test_reserved_patterns(self, float_fmt):
+        inf_like = float_fmt.expmax + 1 << float_fmt.wf
+        d = decode(float_fmt, inf_like)
+        assert d.is_reserved
+        with pytest.raises(ValueError):
+            d.to_fraction()
+
+    def test_out_of_range(self, float_fmt):
+        with pytest.raises(ValueError):
+            decode(float_fmt, 1 << float_fmt.n)
+
+    def test_known_values_float43(self):
+        # 0x38 = 0 0111 000 -> exponent 7 (bias 7) -> 1.0
+        assert decode(F43, 0b00111000).to_fraction() == 1
+        # 0x39 -> 1.125
+        assert decode(F43, 0b00111001).to_fraction() == Fraction(9, 8)
+        # max normal: 0 1110 111 -> 2^7 * 1.875 = 240
+        assert decode(F43, 0b01110111).to_fraction() == 240
+        # smallest subnormal: 2^-6 * 1/8 = 2^-9
+        assert decode(F43, 0b00000001).to_fraction() == Fraction(1, 512)
+
+
+class TestEncodeRoundtrip:
+    def test_every_finite_pattern_roundtrips(self, float_fmt):
+        for bits in float_fmt.all_patterns():
+            d = decode(float_fmt, bits)
+            if d.is_reserved:
+                continue
+            if d.significand == 0:
+                continue  # zeros re-encode to +0
+            got = encode_fraction(float_fmt, d.to_fraction())
+            assert decode(float_fmt, got).to_fraction() == d.to_fraction()
+            assert got == bits
+
+    def test_zero(self, float_fmt):
+        assert encode_fraction(float_fmt, Fraction(0)) == 0
+
+    def test_negative_mantissa_rejected(self, float_fmt):
+        with pytest.raises(ValueError):
+            encode_exact(float_fmt, 0, -3, 0)
+
+
+class TestClamping:
+    def test_overflow_clamps_to_max(self, float_fmt):
+        huge = float_fmt.max_value * 10
+        bits = encode_fraction(float_fmt, huge)
+        assert decode(float_fmt, bits).to_fraction() == float_fmt.max_value
+        nbits = encode_fraction(float_fmt, -huge)
+        assert decode(float_fmt, nbits).to_fraction() == -float_fmt.max_value
+
+    def test_never_produces_reserved(self, float_fmt):
+        for value in (float_fmt.max_value * 2, float_fmt.max_value * Fraction(999)):
+            bits = encode_fraction(float_fmt, value)
+            assert not decode(float_fmt, bits).is_reserved
+
+    def test_tiny_rounds_to_zero(self, float_fmt):
+        # Unlike posit, floats underflow: below half the min subnormal -> 0.
+        tiny = float_fmt.min_value / 3
+        assert decode(float_fmt, encode_fraction(float_fmt, tiny)).to_fraction() == 0
+
+    def test_half_min_subnormal_ties_to_zero(self, float_fmt):
+        # Exactly min/2 is a tie between 0 and min; 0 is the even pattern.
+        bits = encode_fraction(float_fmt, float_fmt.min_value / 2)
+        assert decode(float_fmt, bits).to_fraction() == 0
+
+    def test_just_above_half_min_rounds_up(self, float_fmt):
+        value = float_fmt.min_value / 2 + Fraction(1, 1 << 80)
+        bits = encode_fraction(float_fmt, value)
+        assert decode(float_fmt, bits).to_fraction() == float_fmt.min_value
+
+
+class TestRoundToNearestEven:
+    def test_all_midpoints_tie_to_even(self, float_fmt):
+        pairs = all_finite(float_fmt)
+        for (v1, b1), (v2, b2) in zip(pairs, pairs[1:]):
+            mid = (v1 + v2) / 2
+            got = encode_fraction(float_fmt, mid)
+            got_value = decode(float_fmt, got).to_fraction()
+            assert got_value in (v1, v2)
+            # IEEE RNE: ties go to the even significand.  For floats the
+            # even pattern is the one with lsb 0 of the magnitude encoding.
+            mag1 = b1 & ~float_fmt.sign_mask
+            expect_value = v1 if mag1 % 2 == 0 else v2
+            assert got_value == expect_value, (float(v1), float(v2))
+
+    def test_matches_numpy_for_binary16(self, rng):
+        """Our codec must agree with IEEE binary16 (numpy float16)."""
+        import numpy as np
+
+        fmt = float_format(5, 10)
+        for _ in range(500):
+            x = float(rng.normal() * 10.0 ** int(rng.integers(-6, 6)))
+            if abs(Fraction(x)) > fmt.max_value:
+                continue  # numpy overflows to inf; we clamp by design
+            ours = decode(fmt, encode_float(fmt, x)).to_fraction()
+            theirs = Fraction(float(np.float16(x)))
+            assert ours == theirs, x
+
+    def test_subnormal_agreement_with_numpy(self):
+        import numpy as np
+
+        fmt = float_format(5, 10)
+        for exp in range(-26, -14):
+            for m in (1.0, 1.3, 1.7, 1.99):
+                x = m * 2.0**exp
+                ours = float(decode(fmt, encode_float(fmt, x)).to_fraction())
+                assert ours == float(np.float16(x)), x
+
+
+class TestEncodeFloat:
+    def test_rejects_non_finite(self, float_fmt):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                encode_float(float_fmt, bad)
+
+    def test_matches_fraction_path(self, float_fmt, rng):
+        for _ in range(200):
+            x = float(rng.normal() * 5)
+            assert encode_float(float_fmt, x) == encode_fraction(float_fmt, Fraction(x))

@@ -1,0 +1,86 @@
+"""Tests for repro.floatp.format."""
+
+from fractions import Fraction
+
+import math
+import pytest
+
+from repro.floatp import FloatFormat, binary16, float8_143, float8_152, float_format
+
+
+class TestValidation:
+    def test_we_minimum(self):
+        with pytest.raises(ValueError):
+            FloatFormat(1, 5)
+
+    def test_wf_nonnegative(self):
+        with pytest.raises(ValueError):
+            FloatFormat(4, -1)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            FloatFormat(4.0, 3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            float8_143.we = 5
+
+
+class TestPaperFormulas:
+    """Section III-C: bias, expmax, max, min."""
+
+    def test_bias(self, float_fmt):
+        assert float_fmt.bias == 2 ** (float_fmt.we - 1) - 1
+
+    def test_expmax(self, float_fmt):
+        assert float_fmt.expmax == 2**float_fmt.we - 2
+
+    def test_max(self, float_fmt):
+        expected = (
+            Fraction(2) ** (float_fmt.expmax - float_fmt.bias)
+            * (Fraction(2) - Fraction(1, 2**float_fmt.wf))
+        )
+        assert float_fmt.max_value == expected
+
+    def test_min_is_smallest_subnormal(self, float_fmt):
+        expected = Fraction(2) ** (1 - float_fmt.bias) / 2**float_fmt.wf
+        assert float_fmt.min_value == expected
+
+    def test_binary16_constants(self):
+        # IEEE half precision sanity: max 65504, min subnormal 2^-24.
+        assert binary16.max_value == 65504
+        assert binary16.min_value == Fraction(1, 1 << 24)
+
+    def test_float8_143(self):
+        assert float8_143.n == 8
+        assert float8_143.bias == 7
+        assert float8_143.max_value == 240
+
+    def test_float8_152(self):
+        assert float8_152.n == 8
+        assert float8_152.max_value == Fraction(57344)
+
+
+class TestDerived:
+    def test_width(self, float_fmt):
+        assert float_fmt.n == 1 + float_fmt.we + float_fmt.wf
+
+    def test_dynamic_range(self, float_fmt):
+        expected = math.log10(float(float_fmt.max_value / float_fmt.min_value))
+        assert float_fmt.dynamic_range == pytest.approx(expected)
+
+    def test_accumulator_bits_equation3(self, float_fmt):
+        # wa = ceil(log2 k) + 2 ceil(log2(max/min)) + 2
+        span = math.ceil(math.log2(float_fmt.max_value / float_fmt.min_value))
+        assert float_fmt.accumulator_bits(16) == 4 + 2 * span + 2
+        assert float_fmt.accumulator_bits(1) == 2 * span + 2
+
+    def test_accumulator_bits_invalid_k(self, float_fmt):
+        with pytest.raises(ValueError):
+            float_fmt.accumulator_bits(0)
+
+    def test_memoized(self):
+        assert float_format(4, 3) is float_format(4, 3)
+
+    def test_str(self):
+        assert str(float8_143) == "float<1,4,3>"

@@ -1,0 +1,138 @@
+"""Tests for the FloatP scalar value type."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.floatp import FloatP, encode_fraction
+from repro.floatp.format import float_format
+
+F43 = float_format(4, 3)
+
+
+class TestConstruction:
+    def test_from_value_roundtrip(self, float_fmt):
+        f = FloatP.from_value(float_fmt, 1.0)
+        assert float(f) == 1.0
+
+    def test_from_bits_range_check(self, float_fmt):
+        with pytest.raises(ValueError):
+            FloatP.from_bits(float_fmt, 1 << float_fmt.n)
+
+    def test_cross_format_conversion(self):
+        wide = FloatP.from_value(float_format(5, 10), 1.5)
+        narrow = FloatP.from_value(F43, wide)
+        assert float(narrow) == 1.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            FloatP.from_value(F43, True)
+
+    def test_max_value_constructor(self, float_fmt):
+        assert FloatP.max_value(float_fmt).to_fraction() == float_fmt.max_value
+
+    def test_zero(self, float_fmt):
+        assert FloatP.zero(float_fmt).is_zero
+
+
+class TestArithmetic:
+    def _expect(self, value):
+        return FloatP(F43, encode_fraction(F43, value))
+
+    @pytest.mark.parametrize(
+        "a, b", [(1.5, 0.25), (-2.0, 0.125), (100.0, 100.0), (0.5, -0.5)]
+    )
+    def test_add_correctly_rounded(self, a, b):
+        fa, fb = FloatP.from_value(F43, a), FloatP.from_value(F43, b)
+        assert (fa + fb).to_fraction() == self._expect(
+            fa.to_fraction() + fb.to_fraction()
+        ).to_fraction()
+
+    @pytest.mark.parametrize("a, b", [(1.5, 0.25), (-2.0, 0.125), (24.0, 24.0)])
+    def test_mul_correctly_rounded(self, a, b):
+        fa, fb = FloatP.from_value(F43, a), FloatP.from_value(F43, b)
+        assert (fa * fb).to_fraction() == self._expect(
+            fa.to_fraction() * fb.to_fraction()
+        ).to_fraction()
+
+    def test_exhaustive_add_small_format(self):
+        fmt = float_format(2, 2)
+        from repro.floatp.codec import decode
+
+        finite = [
+            FloatP.from_bits(fmt, b)
+            for b in fmt.all_patterns()
+            if not decode(fmt, b).is_reserved
+        ]
+        for fa in finite:
+            for fb in finite:
+                expect = encode_fraction(fmt, fa.to_fraction() + fb.to_fraction())
+                got = (fa + fb).bits
+                assert decode(fmt, got).to_fraction() == decode(fmt, expect).to_fraction()
+
+    def test_overflow_clamps(self):
+        mx = FloatP.max_value(F43)
+        assert (mx + mx).to_fraction() == F43.max_value
+        assert (mx * mx).to_fraction() == F43.max_value
+
+    def test_division(self):
+        a = FloatP.from_value(F43, 3.0)
+        b = FloatP.from_value(F43, 2.0)
+        assert float(a / b) == 1.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FloatP.from_value(F43, 1.0) / FloatP.zero(F43)
+
+    def test_fma_single_rounding(self):
+        a = FloatP.from_value(F43, 1.125)
+        b = FloatP.from_value(F43, 1.125)
+        c = FloatP.from_value(F43, -1.25)
+        exact = a.to_fraction() * b.to_fraction() + c.to_fraction()
+        assert a.fma(b, c).to_fraction() == self._expect(exact).to_fraction()
+
+    def test_format_mismatch(self):
+        with pytest.raises(TypeError):
+            FloatP.from_value(F43, 1.0) + FloatP.from_value(float_format(5, 2), 1.0)
+
+    def test_scalar_coercion(self):
+        f = FloatP.from_value(F43, 2.0)
+        assert float(f + 1) == 3.0
+        assert float(1 + f) == 3.0
+        assert float(3 - f) == 1.0
+
+
+class TestSignOps:
+    def test_neg_flips_sign_bit(self, float_fmt):
+        f = FloatP.from_value(float_fmt, 1.0)
+        assert (-f).bits == f.bits | float_fmt.sign_mask
+        assert float(-(-f)) == 1.0
+
+    def test_abs(self, float_fmt):
+        f = FloatP.from_value(float_fmt, -1.0)
+        assert float(abs(f)) == 1.0
+
+    def test_signed_zero_equality(self, float_fmt):
+        plus = FloatP.zero(float_fmt)
+        minus = -plus
+        assert plus == minus  # IEEE: -0 == +0
+        assert minus.is_negative and minus.is_zero
+
+
+class TestComparisons:
+    def test_order(self):
+        values = [-10.0, -0.5, 0.0, 0.25, 3.0]
+        fs = [FloatP.from_value(F43, v) for v in values]
+        for a, b in zip(fs, fs[1:]):
+            assert a < b and b > a and a <= b and b >= a
+
+    def test_eq_with_numbers(self):
+        assert FloatP.from_value(F43, 0.5) == 0.5
+        assert FloatP.from_value(F43, 0.5) == Fraction(1, 2)
+
+    def test_hash_consistent_with_eq(self, float_fmt):
+        plus = FloatP.zero(float_fmt)
+        assert hash(plus) == hash(-plus)
+
+    def test_repr(self):
+        assert "1.5" in repr(FloatP.from_value(F43, 1.5))

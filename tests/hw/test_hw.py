@@ -1,0 +1,234 @@
+"""Hardware-model tests: datapath widths and the paper's orderings."""
+
+import math
+
+import pytest
+
+from repro.fixedpoint import fixed_format
+from repro.floatp import float_format
+from repro.hw import (
+    EmacDesign,
+    critical_path_s,
+    default_configs_for_width,
+    dsp_count,
+    dynamic_power_w,
+    emac_report,
+    energy_per_cycle_j,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    fmax_hz,
+    lut_count,
+    power_report,
+    stage_times,
+)
+from repro.posit.format import standard_format
+
+
+class TestDesignWidths:
+    def test_posit_quire_is_equation4(self):
+        fmt = standard_format(8, 2)
+        design = EmacDesign.for_format(fmt, fan_in=16)
+        assert design.accumulator_bits == fmt.quire_bits(16) == 102
+
+    def test_float_accumulator_is_equation3(self):
+        fmt = float_format(4, 3)
+        design = EmacDesign.for_format(fmt, fan_in=16)
+        assert design.accumulator_bits == fmt.accumulator_bits(16)
+
+    def test_fixed_accumulator_is_equation3(self):
+        fmt = fixed_format(8, 4)
+        design = EmacDesign.for_format(fmt, fan_in=16)
+        assert design.accumulator_bits == fmt.accumulator_bits(16)
+
+    def test_multiplier_widths(self):
+        assert EmacDesign.for_format(standard_format(8, 1)).multiplier_bits == 5
+        assert EmacDesign.for_format(float_format(4, 3)).multiplier_bits == 4
+        assert EmacDesign.for_format(fixed_format(8, 4)).multiplier_bits == 8
+
+    def test_families(self):
+        assert EmacDesign.for_format(standard_format(8, 1)).family == "posit"
+        assert EmacDesign.for_format(float_format(4, 3)).family == "float"
+        assert EmacDesign.for_format(fixed_format(8, 4)).family == "fixed"
+
+    def test_invalid_fan_in(self):
+        with pytest.raises(ValueError):
+            EmacDesign.for_format(standard_format(8, 1), fan_in=0)
+
+    def test_unsupported_format(self):
+        with pytest.raises(TypeError):
+            EmacDesign.for_format("posit8")
+
+
+class TestResources:
+    def test_fixed_uses_no_decode_logic(self):
+        design = EmacDesign.for_format(fixed_format(8, 4))
+        breakdown = lut_count(design)
+        assert breakdown.decode == 0 and breakdown.shift == 0
+
+    def test_paper_fig8_ordering(self):
+        """posit > float > fixed LUTs at every width (paper Fig. 8)."""
+        for n in (5, 6, 7, 8):
+            posit = lut_count(EmacDesign.for_format(standard_format(n, 1))).total
+            flt = lut_count(
+                EmacDesign.for_format(float_format(4, n - 5) if n >= 6 else float_format(3, 1))
+            ).total
+            fixed = lut_count(EmacDesign.for_format(fixed_format(n, n // 2))).total
+            assert posit > flt > fixed, n
+
+    def test_luts_grow_with_width(self):
+        totals = [
+            lut_count(EmacDesign.for_format(standard_format(n, 1))).total
+            for n in (5, 6, 7, 8)
+        ]
+        assert totals == sorted(totals)
+        assert totals[0] > 0
+
+    def test_luts_grow_with_es(self):
+        totals = [
+            lut_count(EmacDesign.for_format(standard_format(8, es))).total
+            for es in (0, 1, 2)
+        ]
+        assert totals == sorted(totals)
+
+    def test_dsp_counts(self):
+        assert dsp_count(EmacDesign.for_format(fixed_format(8, 4))) == 1
+        assert dsp_count(EmacDesign.for_format(standard_format(8, 1))) == 1
+        # Wide multipliers need a DSP array.
+        assert dsp_count(EmacDesign.for_format(fixed_format(16, 8))) == 1
+        wide = EmacDesign.for_format(float_format(5, 20))
+        assert dsp_count(wide) == 4
+
+
+class TestTiming:
+    def test_fixed_is_fastest_at_every_width(self):
+        """Paper Section IV-A: fixed achieves the lowest datapath latency."""
+        for n in (5, 6, 7, 8):
+            f_fixed = fmax_hz(EmacDesign.for_format(fixed_format(n, n // 2)))
+            for es in (0, 1, 2):
+                assert f_fixed > fmax_hz(EmacDesign.for_format(standard_format(n, es)))
+            for we in (2, 3, 4, 5):
+                if n - 1 - we >= 1:
+                    assert f_fixed > fmax_hz(
+                        EmacDesign.for_format(float_format(we, n - 1 - we))
+                    )
+
+    def test_posit_beats_float_at_equal_dynamic_range(self):
+        """Paper: posit reaches a given dynamic range at a higher Fmax.
+
+        Compare each float config at n=8 against the posit configs
+        bracketing its dynamic range: the posit trend line must lie above.
+        """
+        posits = [
+            emac_report(standard_format(8, es)) for es in (0, 1, 2)
+        ]
+        floats = [
+            emac_report(float_format(we, 7 - we)) for we in (3, 4, 5)
+        ]
+        for f in floats:
+            # posit configs with at least this dynamic range
+            candidates = [p for p in posits if p.dynamic_range >= f.dynamic_range]
+            if not candidates:
+                continue
+            best = max(c.fmax_hz for c in candidates)
+            assert best > f.fmax_hz, (f.label, f.dynamic_range)
+
+    def test_accumulate_stage_dominates_for_wide_formats(self):
+        stages = stage_times(EmacDesign.for_format(standard_format(8, 2)))
+        assert stages.critical == stages.accumulate
+
+    def test_critical_path_positive(self):
+        for fmt in (standard_format(8, 1), float_format(4, 3), fixed_format(8, 4)):
+            assert critical_path_s(EmacDesign.for_format(fmt)) > 0
+
+    def test_fmax_in_plausible_fpga_range(self):
+        """All Fmax values within the paper's 1e8-ish axis (50 MHz - 1 GHz)."""
+        for n in (5, 8):
+            for family_fmts in default_configs_for_width(n).values():
+                for fmt in family_fmts:
+                    f = fmax_hz(EmacDesign.for_format(fmt))
+                    assert 5e7 < f < 1e9
+
+
+class TestPowerAndEdp:
+    def test_dynamic_power_scales_with_frequency(self):
+        design = EmacDesign.for_format(standard_format(8, 1))
+        assert dynamic_power_w(design, 2e8) == pytest.approx(
+            2 * dynamic_power_w(design, 1e8)
+        )
+
+    def test_energy_per_cycle_positive(self):
+        assert energy_per_cycle_j(EmacDesign.for_format(fixed_format(8, 4))) > 0
+
+    def test_invalid_frequency(self):
+        design = EmacDesign.for_format(fixed_format(8, 4))
+        with pytest.raises(ValueError):
+            dynamic_power_w(design, 0)
+
+    def test_paper_fig7_fixed_lowest_edp(self):
+        for n in (5, 6, 7, 8):
+            edp_fixed = power_report(EmacDesign.for_format(fixed_format(n, n // 2))).edp
+            edp_posit = power_report(
+                EmacDesign.for_format(standard_format(n, 1))
+            ).edp
+            we = 4 if n >= 6 else 3
+            edp_float = power_report(
+                EmacDesign.for_format(float_format(we, n - 1 - we))
+            ).edp
+            assert edp_fixed < edp_float, n
+            assert edp_fixed < edp_posit, n
+
+    def test_paper_fig7_float_posit_similar(self):
+        """EDPs of float and posit EMACs are similar (within ~2x)."""
+        for n in (6, 7, 8):
+            edp_posit = power_report(EmacDesign.for_format(standard_format(n, 1))).edp
+            edp_float = power_report(
+                EmacDesign.for_format(float_format(4, n - 5))
+            ).edp
+            ratio = edp_posit / edp_float
+            assert 0.5 < ratio < 2.0, n
+
+    def test_dot_product_metrics(self):
+        report = power_report(EmacDesign.for_format(standard_format(8, 1), fan_in=16))
+        assert report.dot_product_cycles == 20
+        assert report.dot_product_latency_s > 0
+        assert report.edp == pytest.approx(
+            report.dot_product_energy_j * report.dot_product_latency_s
+        )
+
+
+class TestFigureSeries:
+    def test_figure6_families_present(self):
+        series = figure6_series(widths=(8,))
+        assert set(series) == {"fixed", "float", "posit"}
+        for family, points in series.items():
+            assert points, family
+            xs = [x for x, _ in points]
+            assert xs == sorted(xs)
+
+    def test_figure7_shape(self):
+        series = figure7_series()
+        for family, points in series.items():
+            assert [n for n, _ in points] == [5, 6, 7, 8]
+            edps = [e for _, e in points]
+            assert all(e > 0 for e in edps)
+        fixed = dict(series["fixed"])
+        posit = dict(series["posit"])
+        assert all(fixed[n] < posit[n] for n in (5, 6, 7, 8))
+
+    def test_figure8_shape(self):
+        series = figure8_series()
+        posit = dict(series["posit"])
+        flt = dict(series["float"])
+        fixed = dict(series["fixed"])
+        for n in (5, 6, 7, 8):
+            assert posit[n] > flt[n] > fixed[n]
+
+    def test_report_fields(self):
+        report = emac_report(standard_format(8, 1))
+        assert report.label == "posit<8,1>"
+        assert report.fmax_hz == pytest.approx(1 / report.stages.critical)
+        assert report.dynamic_range == pytest.approx(
+            standard_format(8, 1).dynamic_range
+        )
+        assert report.luts.total > 0 and report.dsps >= 1

@@ -1,0 +1,67 @@
+"""Tests for the network-level synthesis roll-up."""
+
+import numpy as np
+import pytest
+
+from repro.core import PositronNetwork
+from repro.hw import emac_report, synthesize_network
+from repro.posit.format import standard_format
+
+
+@pytest.fixture(scope="module")
+def network():
+    fmt = standard_format(8, 1)
+    rng = np.random.default_rng(0)
+    weights = [rng.normal(size=(16, 30)), rng.normal(size=(8, 16)),
+               rng.normal(size=(2, 8))]
+    biases = [rng.normal(size=16), rng.normal(size=8), rng.normal(size=2)]
+    return PositronNetwork.from_float_params(fmt, weights, biases)
+
+
+class TestNetworkSynthesis:
+    def test_layer_counts(self, network):
+        synth = synthesize_network(network)
+        assert len(synth.layers) == 3
+        assert [layer.neurons for layer in synth.layers] == [16, 8, 2]
+        assert [layer.design.fan_in for layer in synth.layers] == [30, 16, 8]
+
+    def test_totals_are_sums(self, network):
+        synth = synthesize_network(network)
+        assert synth.total_luts == sum(l.luts for l in synth.layers)
+        assert synth.total_dsps == sum(l.dsps for l in synth.layers)
+        assert synth.total_bram_blocks == sum(l.bram_blocks for l in synth.layers)
+
+    def test_layer_luts_scale_with_neurons(self, network):
+        synth = synthesize_network(network)
+        per_emac = emac_report(network.fmt, fan_in=30).luts.total
+        assert synth.layers[0].luts == per_emac * 16
+
+    def test_clock_is_slowest_layer(self, network):
+        synth = synthesize_network(network)
+        assert synth.clock_hz == min(l.fmax_hz for l in synth.layers)
+        # Wider fan-in -> wider carry headroom -> layer 0 bounds the clock.
+        assert synth.clock_hz == synth.layers[0].fmax_hz
+
+    def test_power_and_energy_positive(self, network):
+        synth = synthesize_network(network)
+        assert synth.dynamic_power_w > 0
+        assert synth.total_power_w > synth.dynamic_power_w
+        assert synth.energy_per_inference_j > 0
+
+    def test_latency_consistent_with_timing(self, network):
+        synth = synthesize_network(network)
+        assert synth.latency_s == pytest.approx(
+            synth.timing.latency_cycles / synth.clock_hz
+        )
+        assert synth.batch_latency_s(10) > synth.latency_s
+
+    def test_render_contains_totals(self, network):
+        synth = synthesize_network(network)
+        text = synth.render()
+        assert "total:" in text and "LUTs" in text and "MHz" in text
+        assert str(synth.total_luts) in text
+
+    def test_memory_matches_network(self, network):
+        synth = synthesize_network(network)
+        total_bits = sum(l.memory.total_bits for l in synth.layers)
+        assert total_bits == network.total_memory_bits()

@@ -1,0 +1,178 @@
+"""Tests for the training substrate: layers, model, numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dense, ReLU, log_softmax, softmax
+from repro.nn.train import cross_entropy_grad
+
+
+class TestDense:
+    def test_shapes(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_input_validation(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 7)))
+
+    def test_backward_before_forward(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((5, 3)))
+
+    def test_unknown_init(self, rng):
+        with pytest.raises(ValueError):
+            Dense(4, 3, rng, init="zeros")
+
+    def test_numerical_gradient_weights(self, rng):
+        """Analytic dL/dW must match central finite differences."""
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        base_out = layer.forward(x)
+        layer.backward(base_out - target)
+        analytic_w = layer.grad_weight.copy()
+        analytic_b = layer.grad_bias.copy()
+
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (2, 3)]:
+            layer.weight[idx] += eps
+            up = loss()
+            layer.weight[idx] -= 2 * eps
+            down = loss()
+            layer.weight[idx] += eps
+            numeric = (up - down) / (2 * eps)
+            assert analytic_w[idx] == pytest.approx(numeric, rel=1e-4)
+        for j in range(3):
+            layer.bias[j] += eps
+            up = loss()
+            layer.bias[j] -= 2 * eps
+            down = loss()
+            layer.bias[j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert analytic_b[j] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        grad = relu.backward(np.array([[5.0, 7.0]]))
+        assert np.array_equal(grad, [[0.0, 7.0]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 2)))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(7, 4)) * 50)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(5, 3)) * 20
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+    def test_stability_at_extremes(self):
+        p = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+
+
+class TestCrossEntropyGrad:
+    def test_matches_numerical(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 2])
+        grad = cross_entropy_grad(logits, labels)
+
+        def loss(lg):
+            ls = lg - lg.max(axis=1, keepdims=True)
+            logp = ls - np.log(np.exp(ls).sum(axis=1, keepdims=True))
+            return -logp[np.arange(4), labels].mean()
+
+        eps = 1e-6
+        for idx in [(0, 0), (1, 1), (3, 2)]:
+            up = logits.copy()
+            up[idx] += eps
+            down = logits.copy()
+            down[idx] -= eps
+            numeric = (loss(up) - loss(down)) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestMLP:
+    def test_topology_validation(self, rng):
+        with pytest.raises(ValueError):
+            MLP((4,), rng)
+        with pytest.raises(ValueError):
+            MLP((4, 0, 2), rng)
+
+    def test_structure(self, rng):
+        model = MLP((4, 8, 3), rng)
+        assert len(model.dense_layers) == 2
+        assert model.forward(rng.normal(size=(2, 4))).shape == (2, 3)
+
+    def test_full_backprop_gradient(self, rng):
+        """End-to-end gradient check through Dense/ReLU/Dense."""
+        model = MLP((3, 5, 2), rng)
+        x = rng.normal(size=(8, 3))
+        y = np.array([0, 1] * 4)
+
+        logits = model.forward(x)
+        model.backward(cross_entropy_grad(logits, y))
+        layer = model.dense_layers[0]
+        analytic = layer.grad_weight.copy()
+
+        eps = 1e-6
+        for idx in [(0, 0), (2, 1), (4, 2)]:
+            layer.weight[idx] += eps
+            up = model.nll(x, y)
+            layer.weight[idx] -= 2 * eps
+            down = model.nll(x, y)
+            layer.weight[idx] += eps
+            numeric = (up - down) / (2 * eps)
+            assert analytic[idx] == pytest.approx(numeric, rel=1e-3, abs=1e-9)
+
+    def test_export_import_roundtrip(self, rng):
+        model = MLP((4, 6, 3), rng)
+        weights, biases = model.export_params()
+        x = rng.normal(size=(5, 4))
+        before = model.forward(x)
+        other = MLP((4, 6, 3), np.random.default_rng(999))
+        other.import_params(weights, biases)
+        assert np.allclose(other.forward(x), before)
+
+    def test_import_shape_mismatch(self, rng):
+        model = MLP((4, 6, 3), rng)
+        weights, biases = model.export_params()
+        with pytest.raises(ValueError):
+            model.import_params(weights[:1], biases[:1])
+        weights[0] = weights[0][:, :2]
+        with pytest.raises(ValueError):
+            model.import_params(weights, biases)
+
+    def test_cast_float32_is_idempotent(self, rng):
+        model = MLP((4, 6, 3), rng)
+        model.cast_float32()
+        w1, _ = model.export_params()
+        model.cast_float32()
+        w2, _ = model.export_params()
+        assert all(np.array_equal(a, b) for a, b in zip(w1, w2))
+
+    def test_predict_proba(self, rng):
+        model = MLP((4, 6, 3), rng)
+        p = model.predict_proba(rng.normal(size=(5, 4)))
+        assert np.allclose(p.sum(axis=1), 1.0)

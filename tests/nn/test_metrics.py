@@ -1,0 +1,60 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import accuracy, confusion_matrix, degradation, per_class_accuracy
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        preds = np.array([0, 1, 1, 2, 2, 2])
+        labels = np.array([0, 1, 2, 2, 2, 0])
+        cm = confusion_matrix(preds, labels, 3)
+        assert cm[0, 0] == 1  # true 0 predicted 0
+        assert cm[2, 1] == 1  # true 2 predicted 1
+        assert cm[2, 2] == 2
+        assert cm[0, 2] == 1
+        assert cm.sum() == 6
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 3)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0]), 0)
+
+
+class TestPerClass:
+    def test_recall(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        recalls = per_class_accuracy(preds, labels, 2)
+        assert recalls[0] == 1.0
+        assert recalls[1] == pytest.approx(2 / 3)
+
+    def test_absent_class_is_nan(self):
+        recalls = per_class_accuracy(np.array([0]), np.array([0]), 2)
+        assert np.isnan(recalls[1])
+
+
+class TestDegradation:
+    def test_percentage_points(self):
+        assert degradation(0.901, 0.859) == pytest.approx(4.2, abs=1e-9)
+
+    def test_negative_when_better(self):
+        assert degradation(0.90, 0.95) < 0

@@ -1,0 +1,129 @@
+"""Quantizer tests: the fast vectorized paths must be bit-identical to the
+scalar reference encoders, including posit taper boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Fixed, fixed_format
+from repro.floatp import FloatP, float_format
+from repro.nn import (
+    FormatConfig,
+    best_fixed_q,
+    candidate_configs,
+    quantization_mse,
+    quantize_nearest,
+)
+from repro.posit import Posit, decode as pdecode
+from repro.posit.format import standard_format
+
+
+class TestPositQuantizer:
+    def test_bit_identical_to_scalar(self, posit_fmt, rng):
+        probes = list(rng.normal(size=300) * 10.0 ** rng.integers(-3, 4, size=300))
+        # include every representable value and near-boundary points
+        wide = standard_format(posit_fmt.n + 1, posit_fmt.es)
+        for b in wide.all_patterns():
+            d = pdecode(wide, b)
+            if d.is_nar:
+                continue
+            v = 0.0 if d.is_zero else float(d.to_fraction())
+            probes.extend([v, np.nextafter(v, 1e300), np.nextafter(v, -1e300)])
+        arr = np.array(probes)
+        fast = quantize_nearest(posit_fmt, arr)
+        for v, got in zip(arr, fast):
+            assert int(got) == Posit.from_value(posit_fmt, float(v)).bits, v
+
+    def test_preserves_shape(self, rng):
+        fmt = standard_format(8, 1)
+        assert quantize_nearest(fmt, rng.normal(size=(3, 5))).shape == (3, 5)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            quantize_nearest(standard_format(8, 1), np.array([np.nan]))
+
+
+class TestFloatQuantizer:
+    def test_bit_identical_to_scalar(self, float_fmt, rng):
+        probes = rng.normal(size=400) * 10.0 ** rng.integers(-4, 4, size=400)
+        fast = quantize_nearest(float_fmt, probes)
+        for v, got in zip(probes, fast):
+            expect = FloatP.from_value(float_fmt, float(v))
+            assert FloatP.from_bits(float_fmt, int(got)).to_fraction() == expect.to_fraction(), v
+
+    def test_exact_values_and_midpoints(self, float_fmt):
+        from repro.floatp.codec import decode
+
+        values = []
+        for b in float_fmt.all_patterns():
+            d = decode(float_fmt, b)
+            if d.is_reserved or d.significand == 0:
+                continue
+            values.append(float(d.to_fraction()))
+        values = np.array(sorted(set(values)))
+        mids = (values[:-1] + values[1:]) / 2
+        probes = np.concatenate([values, mids])
+        fast = quantize_nearest(float_fmt, probes)
+        for v, got in zip(probes, fast):
+            expect = FloatP.from_value(float_fmt, float(v))
+            assert FloatP.from_bits(float_fmt, int(got)).to_fraction() == expect.to_fraction(), v
+
+
+class TestFixedQuantizer:
+    def test_bit_identical_to_scalar(self, fixed_fmt, rng):
+        probes = rng.normal(size=300) * 8
+        fast = quantize_nearest(fixed_fmt, probes)
+        for v, got in zip(probes, fast):
+            assert int(got) == Fixed.from_value(fixed_fmt, float(v)).bits
+
+
+class TestMseAndSearch:
+    def test_mse_zero_for_representable(self):
+        fmt = fixed_format(8, 4)
+        values = np.array([0.5, -1.25, 3.0])
+        assert quantization_mse(fmt, values) == 0.0
+
+    def test_mse_positive_for_unrepresentable(self):
+        fmt = fixed_format(8, 4)
+        assert quantization_mse(fmt, np.array([0.01])) > 0
+
+    def test_best_fixed_q_tracks_scale(self, rng):
+        small = rng.normal(size=200) * 0.05  # tiny values: want large q
+        large = rng.normal(size=200) * 30  # big values: want small q
+        q_small = best_fixed_q(8, small).q
+        q_large = best_fixed_q(8, large).q
+        assert q_small > q_large
+
+    def test_best_fixed_q_unit_values(self, rng):
+        values = rng.uniform(-1, 1, size=500)
+        fmt = best_fixed_q(8, values)
+        assert fmt.q >= 6  # unit range wants a dense fraction
+
+
+class TestCandidateConfigs:
+    def test_families_present_at_8bit(self):
+        configs = candidate_configs(8)
+        families = {c.family for c in configs}
+        assert families == {"posit", "float", "fixed"}
+
+    def test_posit_es_respects_field_fit(self):
+        labels = [c.label for c in candidate_configs(5)]
+        assert "posit<5,0>" in labels
+        assert "posit<5,1>" in labels
+        assert "posit<5,2>" in labels  # n-3-es == 0 still legal
+        labels6 = [c.label for c in candidate_configs(6)]
+        assert "posit<6,2>" in labels6
+
+    def test_float_wf_at_least_one(self):
+        for config in candidate_configs(5):
+            if config.family == "float":
+                assert config.fmt.wf >= 1
+
+    def test_widths_consistent(self):
+        for n in (5, 6, 7, 8):
+            for config in candidate_configs(n):
+                assert config.width == n
+
+    def test_label_and_width(self):
+        config = FormatConfig("posit", standard_format(8, 1))
+        assert config.label == "posit<8,1>"
+        assert config.width == 8

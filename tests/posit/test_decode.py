@@ -1,0 +1,170 @@
+"""Tests for repro.posit.decode (the paper's Algorithm 1 and Table I)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.posit import PositFormat, decode, regime_of_run, regime_run_length
+from repro.posit.format import standard_format
+
+
+class TestTable1RegimeInterpretation:
+    """The paper's Table I: binary regime strings and their k values."""
+
+    @pytest.mark.parametrize(
+        "binary, k",
+        [("0001", -3), ("001", -2), ("01", -1), ("10", 0), ("110", 1), ("1110", 2)],
+    )
+    def test_table1_regime_interpretation(self, binary, k):
+        bits = int(binary, 2)
+        width = len(binary)
+        run = regime_run_length(bits, width)
+        leading = (bits >> (width - 1)) & 1
+        assert regime_of_run(leading, run) == k
+
+    def test_run_length_saturates_at_field(self):
+        # All-zeros body: run spans the whole field.
+        assert regime_run_length(0, 7) == 7
+        assert regime_run_length(0b1111111, 7) == 7
+
+    def test_zero_width(self):
+        assert regime_run_length(0, 0) == 0
+
+
+class TestReservedPatterns:
+    def test_zero(self, posit_fmt):
+        d = decode(posit_fmt, 0)
+        assert d.is_zero and not d.is_nar
+
+    def test_nar(self, posit_fmt):
+        d = decode(posit_fmt, posit_fmt.nar_pattern)
+        assert d.is_nar and not d.is_zero
+
+    def test_nar_has_no_value(self, posit_fmt):
+        with pytest.raises(ValueError):
+            decode(posit_fmt, posit_fmt.nar_pattern).to_fraction()
+
+    def test_zero_value(self, posit_fmt):
+        assert decode(posit_fmt, 0).to_fraction() == 0
+
+    def test_out_of_range_pattern(self, posit_fmt):
+        with pytest.raises(ValueError):
+            decode(posit_fmt, 1 << posit_fmt.n)
+        with pytest.raises(ValueError):
+            decode(posit_fmt, -1)
+
+
+class TestKnownValues:
+    """Hand-worked posit<8,0> encodings."""
+
+    @pytest.mark.parametrize(
+        "bits, value",
+        [
+            (0b01000000, 1),
+            (0b01100000, 2),
+            (0b01010000, Fraction(3, 2)),
+            (0b00100000, Fraction(1, 2)),
+            (0b01111111, 64),  # maxpos = useed^6
+            (0b00000001, Fraction(1, 64)),  # minpos
+            (0b11000000, -1),
+            (0b10000001, -64),  # most negative
+        ],
+    )
+    def test_posit8_es0(self, bits, value):
+        fmt = standard_format(8, 0)
+        assert decode(fmt, bits).to_fraction() == Fraction(value)
+
+    @pytest.mark.parametrize(
+        "bits, value",
+        [
+            (0b01000000, 1),
+            (0b01100000, 4),  # useed = 4 at es=1
+            (0b01111111, 4**6),  # maxpos
+            (0b01010000, 2),  # exponent bit set
+            (0b01001000, Fraction(3, 2)),  # first fraction bit
+        ],
+    )
+    def test_posit8_es1(self, bits, value):
+        fmt = standard_format(8, 1)
+        assert decode(fmt, bits).to_fraction() == Fraction(value)
+
+    def test_posit16_one(self):
+        fmt = standard_format(16, 1)
+        assert decode(fmt, 0b0100000000000000).to_fraction() == 1
+
+
+class TestFieldExtraction:
+    def test_sign_extraction(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_zero or d.is_nar:
+                continue
+            assert d.sign == (bits >> (posit_fmt.n - 1))
+
+    def test_negation_symmetry(self, posit_fmt):
+        """decode(-p) must give the exact negated value of decode(p)."""
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_zero or d.is_nar:
+                continue
+            neg = ((1 << posit_fmt.n) - bits) & posit_fmt.mask
+            assert decode(posit_fmt, neg).to_fraction() == -d.to_fraction()
+
+    def test_scale_consistency(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_zero or d.is_nar:
+                continue
+            assert d.scale == (d.regime << posit_fmt.es) + d.exponent
+            assert posit_fmt.min_scale <= d.scale <= posit_fmt.max_scale
+
+    def test_value_formula(self, posit_fmt):
+        """Paper eq. (2): value = (-1)^s * useed^k * 2^e * 1.f."""
+        useed = Fraction(posit_fmt.useed)
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_zero or d.is_nar:
+                continue
+            one_f = Fraction(d.significand, 1 << d.fraction_bits)
+            expected = (useed**d.regime) * (Fraction(2) ** d.exponent) * one_f
+            if d.sign:
+                expected = -expected
+            assert d.to_fraction() == expected
+
+    def test_fraction_bits_bounds(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            assert 0 <= d.fraction_bits <= posit_fmt.max_fraction_bits
+            assert 0 <= d.fraction < (1 << max(1, d.fraction_bits))
+
+    def test_significand_fixed_alignment(self, posit_fmt):
+        """Aligned significand always has the multiplier input width."""
+        top = 1 << posit_fmt.max_fraction_bits
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_zero or d.is_nar:
+                continue
+            assert top <= d.significand_fixed < 2 * top
+
+    def test_all_values_distinct(self, posit_fmt):
+        """Every pattern encodes a distinct value (posits have no redundancy)."""
+        values = set()
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_nar:
+                continue
+            values.add(d.to_fraction())
+        assert len(values) == posit_fmt.num_patterns - 1
+
+    def test_monotone_in_signed_pattern_order(self, posit_fmt):
+        """Values are ordered like two's-complement patterns (posit property)."""
+        pairs = []
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_nar:
+                continue
+            signed = bits - (1 << posit_fmt.n) if bits & posit_fmt.sign_mask else bits
+            pairs.append((signed, d.to_fraction()))
+        pairs.sort()
+        values = [v for _, v in pairs]
+        assert values == sorted(values)

@@ -1,0 +1,198 @@
+"""Tests for repro.posit.encode (convergent rounding & encoding)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.posit import decode, encode_exact, encode_float, encode_fraction
+from repro.posit.format import standard_format
+
+
+def all_real_values(fmt):
+    """(value, bits) for every non-NaR pattern, sorted by value."""
+    pairs = []
+    for bits in fmt.all_patterns():
+        d = decode(fmt, bits)
+        if d.is_nar:
+            continue
+        pairs.append((d.to_fraction(), bits))
+    pairs.sort()
+    return pairs
+
+
+class TestExactRoundtrip:
+    def test_every_pattern_roundtrips(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_nar:
+                continue
+            assert encode_fraction(posit_fmt, d.to_fraction()) == bits
+
+    def test_zero(self, posit_fmt):
+        assert encode_fraction(posit_fmt, Fraction(0)) == 0
+        assert encode_exact(posit_fmt, 0, 0, 0) == 0
+
+    def test_negative_mantissa_rejected(self, posit_fmt):
+        with pytest.raises(ValueError):
+            encode_exact(posit_fmt, 0, -1, 0)
+
+
+class TestSaturation:
+    def test_above_maxpos_clamps(self, posit_fmt):
+        big = posit_fmt.maxpos * 1000
+        assert encode_fraction(posit_fmt, big) == posit_fmt.maxpos_pattern
+        assert (
+            encode_fraction(posit_fmt, -big)
+            == ((1 << posit_fmt.n) - posit_fmt.maxpos_pattern) & posit_fmt.mask
+        )
+
+    def test_just_above_maxpos_clamps(self, posit_fmt):
+        value = posit_fmt.maxpos * Fraction(3, 2)
+        assert encode_fraction(posit_fmt, value) == posit_fmt.maxpos_pattern
+
+    def test_below_minpos_never_rounds_to_zero(self, posit_fmt):
+        tiny = posit_fmt.minpos / 1000
+        assert encode_fraction(posit_fmt, tiny) == posit_fmt.minpos_pattern
+
+    def test_half_minpos_rounds_to_minpos(self, posit_fmt):
+        # The posit standard: (0, minpos) rounds to minpos, never to zero.
+        assert (
+            encode_fraction(posit_fmt, posit_fmt.minpos / 2)
+            == posit_fmt.minpos_pattern
+        )
+
+    def test_never_produces_nar(self, posit_fmt):
+        probe_values = [
+            posit_fmt.maxpos * 2,
+            -posit_fmt.maxpos * 2,
+            posit_fmt.minpos / 3,
+            -posit_fmt.minpos / 3,
+        ]
+        for value in probe_values:
+            assert encode_fraction(posit_fmt, value) != posit_fmt.nar_pattern
+
+
+class TestRoundToNearestEven:
+    def test_midpoints_tie_to_even_within_blocks(self, posit_fmt):
+        """Exactly halfway between same-scale neighbors -> the even pattern.
+
+        Within a regime/exponent block the value lattice is uniform, so the
+        hardware's pattern-space rounding (Algorithm 2) coincides with
+        value-space round-to-nearest-even.  Cross-block pairs are governed
+        by pattern-space semantics, tested separately below.
+        """
+        from repro.posit import decode as dec
+
+        pairs = all_real_values(posit_fmt)
+        for (v1, b1), (v2, b2) in zip(pairs, pairs[1:]):
+            if v1 <= 0 <= v2:
+                continue  # zero boundary: "never round to zero" rule
+            if dec(posit_fmt, b1).scale != dec(posit_fmt, b2).scale:
+                continue  # taper boundary: pattern-space semantics
+            mid = (v1 + v2) / 2
+            got = encode_fraction(posit_fmt, mid)
+            assert got in (b1, b2), f"midpoint escaped neighbors: {mid}"
+            mag1 = b1 if v1 >= 0 else ((1 << posit_fmt.n) - b1) & posit_fmt.mask
+            expect = b1 if mag1 % 2 == 0 else b2
+            assert got == expect, (float(v1), float(v2), got)
+
+    def test_boundaries_are_n_plus_1_bit_posits(self, posit_fmt):
+        """Pattern-space rounding boundaries interleave as (n+1)-bit posits.
+
+        The value that separates rounding to pattern p from rounding to
+        pattern p+1 is exactly the (n+1)-bit posit whose pattern is the odd
+        value 2p+1 (same es) — the defining property of the paper's
+        Algorithm 2 guard/sticky rounding.  Just below the boundary must
+        round down, just above must round up.
+        """
+        if posit_fmt.n >= 12:
+            return  # wider variants covered by the narrower ones
+        wide = standard_format(posit_fmt.n + 1, posit_fmt.es)
+        pairs = all_real_values(posit_fmt)
+        eps = Fraction(1, 1 << 80)
+        for (v1, b1), (v2, b2) in zip(pairs, pairs[1:]):
+            if v1 <= 0 <= v2:
+                continue
+            signed1 = b1 - (1 << posit_fmt.n) if b1 & posit_fmt.sign_mask else b1
+            mid_bits = (2 * signed1 + 1) % (1 << wide.n)
+            boundary = decode(wide, mid_bits).to_fraction()
+            assert v1 < boundary < v2, "interleaving property violated"
+            below = encode_fraction(posit_fmt, boundary - eps * abs(boundary))
+            above = encode_fraction(posit_fmt, boundary + eps * abs(boundary))
+            assert below == b1, (float(v1), float(boundary), float(v2))
+            assert above == b2, (float(v1), float(boundary), float(v2))
+
+    def test_nearest_of_random_rationals(self, posit_fmt, rng):
+        """Faithful rounding: the result always brackets the input."""
+        pairs = all_real_values(posit_fmt)
+        values = [p[0] for p in pairs]
+        for _ in range(200):
+            x = Fraction(int(rng.integers(-(10**6), 10**6)), int(rng.integers(1, 10**6)))
+            got = encode_fraction(posit_fmt, x)
+            got_value = decode(posit_fmt, got).to_fraction()
+            if x != 0 and abs(x) < posit_fmt.minpos:
+                # Standard rule: never round a nonzero value to zero.
+                sign = -1 if x < 0 else 1
+                assert got_value == sign * posit_fmt.minpos
+                continue
+            if abs(x) > posit_fmt.maxpos:
+                assert abs(got_value) == posit_fmt.maxpos
+                continue
+            # Faithful: got_value is one of the two bracketing posits.
+            below = max((v for v in values if v <= x), default=None)
+            above = min((v for v in values if v >= x), default=None)
+            assert got_value in (below, above)
+
+    def test_quantization_idempotent(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            d = decode(posit_fmt, bits)
+            if d.is_nar:
+                continue
+            again = encode_fraction(posit_fmt, d.to_fraction())
+            assert again == bits
+
+
+class TestEncodeFloat:
+    def test_matches_fraction_path(self, posit_fmt, rng):
+        for _ in range(200):
+            x = float(rng.normal()) * 4
+            assert encode_float(posit_fmt, x) == encode_fraction(
+                posit_fmt, Fraction(x)
+            )
+
+    def test_rejects_nan(self, posit_fmt):
+        with pytest.raises(ValueError):
+            encode_float(posit_fmt, float("nan"))
+
+    def test_rejects_inf(self, posit_fmt):
+        with pytest.raises(ValueError):
+            encode_float(posit_fmt, float("inf"))
+
+
+class TestNegationSymmetry:
+    def test_encode_negative_is_twos_complement(self, posit_fmt, rng):
+        for _ in range(100):
+            x = Fraction(int(rng.integers(1, 10**6)), int(rng.integers(1, 10**6)))
+            pos = encode_fraction(posit_fmt, x)
+            neg = encode_fraction(posit_fmt, -x)
+            assert neg == ((1 << posit_fmt.n) - pos) & posit_fmt.mask
+
+
+class TestWideMantissas:
+    def test_quire_scale_inputs(self, posit_fmt):
+        """Encoding must be exact for mantissas far wider than the format."""
+        # 1 + 2^-200: rounds to 1 exactly (sticky far below ULP).
+        mant = (1 << 200) + 1
+        one = encode_fraction(posit_fmt, Fraction(1))
+        assert encode_exact(posit_fmt, 0, mant, -200) == one
+
+    def test_sticky_bit_matters(self):
+        """A 1 ULP/2 + epsilon value must round up (sticky forces it)."""
+        fmt = standard_format(8, 0)
+        one = 0b01000000
+        ulp = Fraction(1, 32)  # 5 fraction bits at scale 0
+        value = 1 + ulp / 2 + Fraction(1, 1 << 60)
+        got = encode_fraction(fmt, value)
+        assert decode(fmt, got).to_fraction() == 1 + ulp
+        # Without the epsilon it is a tie -> even (1.0 has even pattern).
+        assert encode_fraction(fmt, 1 + ulp / 2) == one

@@ -1,0 +1,128 @@
+"""Tests for repro.posit.format."""
+
+from fractions import Fraction
+
+import math
+import pytest
+
+from repro.posit import PositFormat, posit8, posit16, posit32, standard_format
+
+
+class TestValidation:
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            PositFormat(2, 0)
+
+    def test_negative_es(self):
+        with pytest.raises(ValueError):
+            PositFormat(8, -1)
+
+    def test_huge_es_rejected(self):
+        with pytest.raises(ValueError):
+            PositFormat(8, 9)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            PositFormat(8.0, 0)
+
+    def test_smallest_legal_format(self):
+        fmt = PositFormat(3, 0)
+        assert fmt.num_patterns == 8
+        assert fmt.maxpos_pattern == 0b011
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            posit8.n = 9
+
+
+class TestBitConstants:
+    def test_masks(self, posit_fmt):
+        assert posit_fmt.mask == (1 << posit_fmt.n) - 1
+        assert posit_fmt.sign_mask == 1 << (posit_fmt.n - 1)
+
+    def test_reserved_patterns_distinct(self, posit_fmt):
+        assert posit_fmt.zero_pattern != posit_fmt.nar_pattern
+        assert posit_fmt.zero_pattern == 0
+        assert posit_fmt.nar_pattern == posit_fmt.sign_mask
+
+    def test_maxpos_minpos_patterns(self, posit_fmt):
+        assert posit_fmt.maxpos_pattern == posit_fmt.sign_mask - 1
+        assert posit_fmt.minpos_pattern == 1
+
+    def test_num_patterns(self, posit_fmt):
+        assert posit_fmt.num_patterns == 2**posit_fmt.n
+        assert len(list(posit_fmt.all_patterns())) == posit_fmt.num_patterns
+
+
+class TestValueConstants:
+    def test_useed(self):
+        assert PositFormat(8, 0).useed == 2
+        assert PositFormat(8, 1).useed == 4
+        assert PositFormat(8, 2).useed == 16
+        assert PositFormat(16, 3).useed == 256
+
+    def test_maxpos_is_useed_power(self, posit_fmt):
+        expected = Fraction(posit_fmt.useed) ** (posit_fmt.n - 2)
+        assert posit_fmt.maxpos == expected
+
+    def test_minpos_is_reciprocal_of_maxpos(self, posit_fmt):
+        assert posit_fmt.minpos * posit_fmt.maxpos == 1
+
+    def test_scale_bounds(self, posit_fmt):
+        assert posit_fmt.max_scale == (posit_fmt.n - 2) * 2**posit_fmt.es
+        assert posit_fmt.min_scale == -posit_fmt.max_scale
+
+    def test_dynamic_range_formula(self, posit_fmt):
+        expected = math.log10(float(posit_fmt.maxpos / posit_fmt.minpos))
+        assert posit_fmt.dynamic_range == pytest.approx(expected, rel=1e-9)
+
+    def test_paper_8bit_dynamic_ranges(self):
+        # log10(useed^(2n-4)): es=0 -> 12*log10(2) ~ 3.61.
+        assert PositFormat(8, 0).dynamic_range == pytest.approx(3.612, abs=0.01)
+        assert PositFormat(8, 2).dynamic_range == pytest.approx(14.45, abs=0.01)
+
+
+class TestFieldWidths:
+    def test_max_fraction_bits(self):
+        assert PositFormat(8, 0).max_fraction_bits == 5
+        assert PositFormat(8, 2).max_fraction_bits == 3
+        assert PositFormat(5, 2).max_fraction_bits == 0
+        assert PositFormat(3, 0).max_fraction_bits == 0
+
+    def test_significand_bits(self, posit_fmt):
+        assert posit_fmt.significand_bits == 1 + posit_fmt.max_fraction_bits
+
+    def test_scale_bias_matches_paper(self, posit_fmt):
+        # bias = 2^(es+1) * (n-2) (Section III-D).
+        assert posit_fmt.scale_bias == 2 ** (posit_fmt.es + 1) * (posit_fmt.n - 2)
+
+
+class TestQuireWidth:
+    def test_equation4_example(self):
+        # posit<8,2>, k=16: 2^4 * 6 + 2 + 4 = 102.
+        assert PositFormat(8, 2).quire_bits(16) == 102
+
+    def test_equation4_k1(self, posit_fmt):
+        es, n = posit_fmt.es, posit_fmt.n
+        assert posit_fmt.quire_bits(1) == 2 ** (es + 2) * (n - 2) + 2
+
+    def test_monotone_in_k(self, posit_fmt):
+        widths = [posit_fmt.quire_bits(k) for k in (1, 2, 16, 1024)]
+        assert widths == sorted(widths)
+
+    def test_invalid_k(self, posit_fmt):
+        with pytest.raises(ValueError):
+            posit_fmt.quire_bits(0)
+
+
+class TestStandardFormats:
+    def test_predefined(self):
+        assert (posit8.n, posit8.es) == (8, 0)
+        assert (posit16.n, posit16.es) == (16, 1)
+        assert (posit32.n, posit32.es) == (32, 2)
+
+    def test_memoized(self):
+        assert standard_format(8, 1) is standard_format(8, 1)
+
+    def test_str(self):
+        assert str(posit8) == "posit<8,0>"

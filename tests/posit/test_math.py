@@ -1,0 +1,145 @@
+"""Tests for posit math functions and IEEE interchange."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.posit import (
+    Posit,
+    encode_fraction,
+    from_float32_bits,
+    pow2_int,
+    reciprocal,
+    sqrt,
+    to_float32_bits,
+)
+from repro.posit.encode import encode_exact
+from repro.posit.format import standard_format
+
+P8 = standard_format(8, 1)
+
+
+def reference_sqrt_bits(fmt, value: Fraction) -> int:
+    """Independent correctly rounded sqrt via wide integer sqrt + sticky."""
+    num = (value.numerator << 400) // value.denominator
+    root = math.isqrt(num)
+    exact = root * root == num and (value.numerator << 400) % value.denominator == 0
+    mant = (root << 1) | (0 if exact else 1)
+    return encode_exact(fmt, 0, mant, -201)
+
+
+class TestSqrt:
+    def test_exhaustive_correct_rounding(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            p = Posit.from_bits(posit_fmt, bits)
+            s = sqrt(p)
+            if p.is_nar or p.is_negative:
+                assert s.is_nar
+            elif p.is_zero:
+                assert s.is_zero
+            else:
+                assert s.bits == reference_sqrt_bits(posit_fmt, p.to_fraction())
+
+    def test_perfect_squares(self):
+        for v in (1, 4, 16):
+            p = Posit.from_value(P8, v)
+            assert float(sqrt(p)) == math.sqrt(v)
+
+    def test_negative_is_nar(self):
+        assert sqrt(Posit.from_value(P8, -1)).is_nar
+
+    def test_sqrt_monotone(self):
+        values = [0.25, 0.5, 1.0, 2.0, 9.0]
+        roots = [float(sqrt(Posit.from_value(P8, v))) for v in values]
+        assert roots == sorted(roots)
+
+
+class TestReciprocal:
+    def test_exhaustive(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            p = Posit.from_bits(posit_fmt, bits)
+            r = reciprocal(p)
+            if p.is_nar or p.is_zero:
+                assert r.is_nar
+            else:
+                assert r.bits == encode_fraction(posit_fmt, 1 / p.to_fraction())
+
+    def test_powers_of_two_exact(self):
+        assert float(reciprocal(Posit.from_value(P8, 4.0))) == 0.25
+
+    def test_reciprocal_of_reciprocal_near_identity(self):
+        p = Posit.from_value(P8, 3.0)
+        back = reciprocal(reciprocal(p))
+        assert abs(float(back) - 3.0) / 3.0 < 0.1
+
+
+class TestPow2:
+    def test_in_range(self, posit_fmt):
+        assert float(pow2_int(posit_fmt, 0)) == 1.0
+        assert float(pow2_int(posit_fmt, 1)) == 2.0
+
+    def test_saturates(self, posit_fmt):
+        assert pow2_int(posit_fmt, 10**6).bits == posit_fmt.maxpos_pattern
+        assert pow2_int(posit_fmt, -(10**6)).bits == posit_fmt.minpos_pattern
+
+
+class TestFloat32Interchange:
+    def test_roundtrip_representables(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            p = Posit.from_bits(posit_fmt, bits)
+            if p.is_nar:
+                continue
+            f32 = to_float32_bits(p)
+            back = from_float32_bits(posit_fmt, f32)
+            # Every posit at n <= 8 is exactly representable in binary32.
+            assert back.bits == p.bits
+
+    def test_nar_maps_to_nan(self):
+        f32 = to_float32_bits(Posit.nar(P8))
+        assert f32 == 0x7FC00000
+
+    def test_nan_maps_to_nar(self):
+        assert from_float32_bits(P8, 0x7FC00000).is_nar
+        assert from_float32_bits(P8, 0x7F800000).is_nar  # +inf
+        assert from_float32_bits(P8, 0xFF800000).is_nar  # -inf
+
+    def test_zero(self):
+        assert from_float32_bits(P8, 0).is_zero
+        assert from_float32_bits(P8, 0x80000000).is_zero  # -0.0
+
+    def test_pattern_range_check(self):
+        with pytest.raises(ValueError):
+            from_float32_bits(P8, 1 << 32)
+
+    def test_one(self):
+        assert to_float32_bits(Posit.from_value(P8, 1.0)) == 0x3F800000
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_sqrt_of_square_at_least_value(bits):
+    """sqrt(p*p) >= |p| cannot under-round past p (posit monotonicity)."""
+    fmt = P8
+    if bits == fmt.nar_pattern:
+        return
+    p = Posit.from_bits(fmt, bits)
+    square = p * p
+    if square.is_nar:
+        return
+    root = sqrt(square)
+    # p*p may saturate at either extreme (maxpos clamp, or the
+    # never-underflow-to-zero minpos clamp); skip those, where the rounded
+    # square is no longer close to p^2.
+    saturated = square.bits in (
+        fmt.maxpos_pattern,
+        fmt.minpos_pattern,
+        ((1 << fmt.n) - fmt.maxpos_pattern) & fmt.mask,
+        ((1 << fmt.n) - fmt.minpos_pattern) & fmt.mask,
+    )
+    if not saturated and not square.is_zero:
+        # In the regime taper consecutive posit<8,1> values are useed=4x
+        # apart, so the rounded square may be off by up to 2x and its root
+        # by up to sqrt(2) - 1 ~ 41%.
+        assert abs(float(root) - abs(float(p))) <= abs(float(p)) * 0.5

@@ -1,0 +1,150 @@
+"""Hypothesis property tests for posit arithmetic invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.posit import Posit, Quire, decode, encode_fraction
+from repro.posit.format import standard_format
+
+FORMATS = [
+    standard_format(5, 0),
+    standard_format(6, 1),
+    standard_format(8, 0),
+    standard_format(8, 1),
+    standard_format(8, 2),
+]
+
+fmt_st = st.sampled_from(FORMATS)
+rational_st = st.fractions(
+    min_value=Fraction(-(10**6)), max_value=Fraction(10**6)
+)
+
+
+def real_pattern(fmt, bits):
+    """Map any integer to a non-NaR pattern of fmt."""
+    bits %= fmt.num_patterns
+    return fmt.zero_pattern if bits == fmt.nar_pattern else bits
+
+
+@given(fmt_st, rational_st)
+def test_encode_decode_roundtrip_is_idempotent(fmt, value):
+    """quantize(quantize(x)) == quantize(x)."""
+    bits = encode_fraction(fmt, value)
+    if bits == fmt.nar_pattern:  # cannot happen; guards the invariant
+        raise AssertionError("encode produced NaR")
+    rounded = decode(fmt, bits).to_fraction() if bits else Fraction(0)
+    assert encode_fraction(fmt, rounded) == bits
+
+
+@given(fmt_st, rational_st, rational_st)
+def test_encoding_is_monotone(fmt, a, b):
+    """x <= y implies posit(x) <= posit(y) in signed-pattern order."""
+    if a > b:
+        a, b = b, a
+    pa = Posit(fmt, encode_fraction(fmt, a))
+    pb = Posit(fmt, encode_fraction(fmt, b))
+    assert pa._signed_pattern() <= pb._signed_pattern()
+
+
+@given(fmt_st, rational_st)
+def test_rounding_is_faithful(fmt, value):
+    """The result is one of the two posits bracketing the value."""
+    bits = encode_fraction(fmt, value)
+    got = decode(fmt, bits).to_fraction() if bits else Fraction(0)
+    if got == value:
+        return
+    # Error bounded by the gap to the neighbor on the other side.
+    direction = 1 if got > value else -1
+    signed = bits - fmt.num_patterns if bits & fmt.sign_mask else bits
+    neighbor_signed = signed - direction
+    neighbor_bits = neighbor_signed % fmt.num_patterns
+    if neighbor_bits == fmt.nar_pattern:
+        return  # at the saturation edge; clamping already verified elsewhere
+    neighbor = (
+        decode(fmt, neighbor_bits).to_fraction()
+        if neighbor_bits
+        else Fraction(0)
+    )
+    lo, hi = min(got, neighbor), max(got, neighbor)
+    if not lo <= value <= hi:
+        # Outside the bracketing pair is legal only past the posit range
+        # (saturation to maxpos/minpos semantics).
+        assert abs(value) > fmt.maxpos or abs(value) < fmt.minpos
+
+
+@given(fmt_st, st.integers(), st.integers())
+def test_multiplication_commutes(fmt, wa, wb):
+    pa = Posit.from_bits(fmt, real_pattern(fmt, wa))
+    pb = Posit.from_bits(fmt, real_pattern(fmt, wb))
+    assert (pa * pb).bits == (pb * pa).bits
+
+
+@given(fmt_st, st.integers(), st.integers())
+def test_addition_commutes(fmt, wa, wb):
+    pa = Posit.from_bits(fmt, real_pattern(fmt, wa))
+    pb = Posit.from_bits(fmt, real_pattern(fmt, wb))
+    assert (pa + pb).bits == (pb + pa).bits
+
+
+@given(fmt_st, st.integers())
+def test_negation_is_involution(fmt, bits):
+    p = Posit.from_bits(fmt, real_pattern(fmt, bits))
+    assert (-(-p)).bits == p.bits
+
+
+@given(fmt_st, st.integers())
+def test_multiply_by_one_is_identity(fmt, bits):
+    p = Posit.from_bits(fmt, real_pattern(fmt, bits))
+    one = Posit.from_value(fmt, 1)
+    assert (p * one).bits == p.bits
+
+
+@given(fmt_st, st.integers())
+def test_add_zero_is_identity(fmt, bits):
+    p = Posit.from_bits(fmt, real_pattern(fmt, bits))
+    assert (p + Posit.zero(fmt)).bits == p.bits
+
+
+@given(fmt_st, st.integers())
+def test_subtract_self_is_zero(fmt, bits):
+    p = Posit.from_bits(fmt, real_pattern(fmt, bits))
+    assert (p - p).is_zero
+
+
+@settings(max_examples=50)
+@given(
+    fmt_st,
+    st.lists(st.tuples(st.integers(), st.integers()), min_size=1, max_size=12),
+)
+def test_quire_dot_matches_exact_rational(fmt, pairs):
+    """The quire dot product equals the exact sum, rounded once."""
+    ws = [Posit.from_bits(fmt, real_pattern(fmt, a)) for a, _ in pairs]
+    xs = [Posit.from_bits(fmt, real_pattern(fmt, b)) for _, b in pairs]
+    q = Quire(fmt)
+    out = q.dot(ws, xs)
+    exact = sum(
+        (w.to_fraction() * x.to_fraction() for w, x in zip(ws, xs)), Fraction(0)
+    )
+    assert out.bits == encode_fraction(fmt, exact)
+    assert q.fits_hw()
+
+
+@settings(max_examples=50)
+@given(
+    fmt_st,
+    st.lists(st.tuples(st.integers(), st.integers()), min_size=2, max_size=10),
+    st.randoms(use_true_random=False),
+)
+def test_quire_accumulation_order_invariant(fmt, pairs, shuffler):
+    """Exact accumulation must not depend on MAC order (floats would)."""
+    ws = [Posit.from_bits(fmt, real_pattern(fmt, a)) for a, _ in pairs]
+    xs = [Posit.from_bits(fmt, real_pattern(fmt, b)) for _, b in pairs]
+    q1 = Quire(fmt)
+    out1 = q1.dot(ws, xs)
+    order = list(range(len(pairs)))
+    shuffler.shuffle(order)
+    q2 = Quire(fmt)
+    out2 = q2.dot([ws[i] for i in order], [xs[i] for i in order])
+    assert out1.bits == out2.bits

@@ -1,0 +1,142 @@
+"""Tests for the Quire (Kulisch accumulator)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.posit import Posit, Quire, encode_fraction
+from repro.posit.format import standard_format
+
+P8 = standard_format(8, 1)
+
+
+def posits(fmt, values):
+    return [Posit.from_value(fmt, v) for v in values]
+
+
+class TestBasics:
+    def test_empty_quire_is_zero(self, posit_fmt):
+        q = Quire(posit_fmt)
+        assert q.to_fraction() == 0
+        assert q.to_posit().is_zero
+
+    def test_add_single(self, posit_fmt):
+        q = Quire(posit_fmt)
+        p = Posit.minpos(posit_fmt)
+        q.add(p)
+        assert q.to_fraction() == p.to_fraction()
+        assert q.to_posit() == p
+
+    def test_clear(self):
+        q = Quire(P8)
+        q.add(Posit.from_value(P8, 1.0))
+        q.clear()
+        assert q.to_fraction() == 0 and q.count == 0
+
+    def test_load_bias(self):
+        q = Quire(P8)
+        bias = Posit.from_value(P8, 0.5)
+        q.load(bias)
+        assert q.to_fraction() == Fraction(1, 2)
+
+    def test_count_tracks_macs(self):
+        q = Quire(P8)
+        q.multiply_accumulate(Posit.from_value(P8, 1.0), Posit.from_value(P8, 2.0))
+        q.multiply_accumulate(Posit.zero(P8), Posit.from_value(P8, 2.0))
+        assert q.count == 2
+
+    def test_nar_rejected(self):
+        q = Quire(P8)
+        with pytest.raises(ArithmeticError):
+            q.add(Posit.nar(P8))
+        with pytest.raises(ArithmeticError):
+            q.multiply_accumulate(Posit.nar(P8), Posit.from_value(P8, 1.0))
+
+    def test_format_mismatch_rejected(self):
+        q = Quire(P8)
+        with pytest.raises(TypeError):
+            q.add(Posit.from_value(standard_format(7, 0), 1.0))
+
+
+class TestExactness:
+    def test_dot_is_exact_then_rounded_once(self, posit_fmt, rng):
+        for _ in range(50):
+            k = int(rng.integers(1, 16))
+            w_bits = rng.integers(0, posit_fmt.num_patterns, size=k)
+            a_bits = rng.integers(0, posit_fmt.num_patterns, size=k)
+            ws = [
+                Posit.from_bits(posit_fmt, int(b))
+                if int(b) != posit_fmt.nar_pattern
+                else Posit.zero(posit_fmt)
+                for b in w_bits
+            ]
+            xs = [
+                Posit.from_bits(posit_fmt, int(b))
+                if int(b) != posit_fmt.nar_pattern
+                else Posit.zero(posit_fmt)
+                for b in a_bits
+            ]
+            q = Quire(posit_fmt)
+            out = q.dot(ws, xs)
+            exact = sum(
+                (w.to_fraction() * x.to_fraction() for w, x in zip(ws, xs)),
+                Fraction(0),
+            )
+            assert q.to_fraction() == exact
+            assert out.bits == encode_fraction(posit_fmt, exact)
+
+    def test_cancellation_is_exact(self):
+        """maxpos^2 - maxpos^2 + minpos^2 == minpos^2 in a quire."""
+        q = Quire(P8)
+        mx, mn = Posit.maxpos(P8), Posit.minpos(P8)
+        q.multiply_accumulate(mx, mx)
+        q.multiply_accumulate(-mx, mx)
+        q.multiply_accumulate(mn, mn)
+        assert q.to_fraction() == mn.to_fraction() ** 2
+        # A rounded result would have lost the minpos^2 term entirely.
+        assert q.to_posit() == mn  # minpos^2 underflows to minpos on rounding
+
+    def test_sum_below_minpos_rounds_to_minpos(self):
+        q = Quire(P8)
+        mn = Posit.minpos(P8)
+        q.multiply_accumulate(mn, mn)
+        assert not q.to_posit().is_zero
+
+    def test_zero_inputs_accumulate_nothing(self):
+        q = Quire(P8)
+        q.multiply_accumulate(Posit.zero(P8), Posit.maxpos(P8))
+        assert q.to_fraction() == 0
+
+    def test_dot_length_mismatch(self):
+        q = Quire(P8)
+        with pytest.raises(ValueError):
+            q.dot(posits(P8, [1]), posits(P8, [1, 2]))
+
+
+class TestHardwareInvariant:
+    """Eq. (4)'s sizing claim: alignment and magnitude of real accumulations."""
+
+    def test_fits_hw_for_random_dots(self, posit_fmt, rng):
+        for _ in range(30):
+            k = int(rng.integers(1, 32))
+            q = Quire(posit_fmt)
+            for _ in range(k):
+                wb = int(rng.integers(0, posit_fmt.num_patterns))
+                ab = int(rng.integers(0, posit_fmt.num_patterns))
+                if wb == posit_fmt.nar_pattern:
+                    wb = 0
+                if ab == posit_fmt.nar_pattern:
+                    ab = 0
+                q.multiply_accumulate(
+                    Posit.from_bits(posit_fmt, wb), Posit.from_bits(posit_fmt, ab)
+                )
+            assert q.fits_hw()
+
+    def test_fits_hw_worst_case_magnitude(self, posit_fmt):
+        """k maxpos^2 products exactly fill the carry headroom."""
+        k = 8
+        q = Quire(posit_fmt)
+        mx = Posit.maxpos(posit_fmt)
+        for _ in range(k):
+            q.multiply_accumulate(mx, mx)
+        assert q.fits_hw(k)

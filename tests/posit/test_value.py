@@ -1,0 +1,209 @@
+"""Tests for the Posit scalar value type."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.posit import NaRError, Posit, decode, encode_fraction
+from repro.posit.format import standard_format
+
+P8 = standard_format(8, 1)
+
+
+class TestConstruction:
+    def test_from_bits(self, posit_fmt):
+        p = Posit.from_bits(posit_fmt, posit_fmt.minpos_pattern)
+        assert p.bits == posit_fmt.minpos_pattern
+
+    def test_from_bits_range_check(self, posit_fmt):
+        with pytest.raises(ValueError):
+            Posit.from_bits(posit_fmt, 1 << posit_fmt.n)
+
+    def test_from_int(self, posit_fmt):
+        assert float(Posit.from_value(posit_fmt, 1)) == 1.0
+
+    def test_from_fraction(self, posit_fmt):
+        p = Posit.from_value(posit_fmt, Fraction(1, 2))
+        assert p.to_fraction() == Fraction(1, 2)
+
+    def test_from_float(self):
+        assert float(Posit.from_value(P8, 0.5)) == 0.5
+
+    def test_from_posit_same_format_is_identity(self):
+        p = Posit.from_value(P8, 0.75)
+        assert Posit.from_value(P8, p) is p
+
+    def test_from_posit_other_format_converts(self):
+        p16 = Posit.from_value(standard_format(16, 1), 0.75)
+        p8 = Posit.from_value(P8, p16)
+        assert p8.fmt == P8 and float(p8) == 0.75
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Posit.from_value(P8, True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            Posit.from_value(P8, "0.5")
+
+    def test_named_constructors(self, posit_fmt):
+        assert Posit.zero(posit_fmt).is_zero
+        assert Posit.nar(posit_fmt).is_nar
+        assert Posit.maxpos(posit_fmt).bits == posit_fmt.maxpos_pattern
+        assert Posit.minpos(posit_fmt).bits == posit_fmt.minpos_pattern
+
+
+class TestProperties:
+    def test_is_negative(self):
+        assert Posit.from_value(P8, -2).is_negative
+        assert not Posit.from_value(P8, 2).is_negative
+        assert not Posit.zero(P8).is_negative
+        assert not Posit.nar(P8).is_negative
+
+    def test_nar_to_fraction_raises(self):
+        with pytest.raises(NaRError):
+            Posit.nar(P8).to_fraction()
+
+    def test_nar_to_float_is_nan(self):
+        value = float(Posit.nar(P8))
+        assert value != value
+
+    def test_decoded_cached(self):
+        p = Posit.from_value(P8, 1.5)
+        assert p.decoded is p.decoded
+
+
+class TestArithmeticCorrectlyRounded:
+    """Every op must equal: exact rational result, rounded once."""
+
+    def _expect(self, value):
+        return Posit(P8, encode_fraction(P8, value))
+
+    @pytest.mark.parametrize("a, b", [(0.5, 0.25), (3.0, -1.5), (-0.125, -4.0), (63.0, 63.0)])
+    def test_add(self, a, b):
+        pa, pb = Posit.from_value(P8, a), Posit.from_value(P8, b)
+        assert pa + pb == self._expect(pa.to_fraction() + pb.to_fraction())
+
+    @pytest.mark.parametrize("a, b", [(0.5, 0.25), (3.0, -1.5), (1.0, 1.0)])
+    def test_sub(self, a, b):
+        pa, pb = Posit.from_value(P8, a), Posit.from_value(P8, b)
+        assert pa - pb == self._expect(pa.to_fraction() - pb.to_fraction())
+
+    @pytest.mark.parametrize("a, b", [(0.5, 0.25), (-3.0, 1.5), (8.0, 8.0)])
+    def test_mul(self, a, b):
+        pa, pb = Posit.from_value(P8, a), Posit.from_value(P8, b)
+        assert pa * pb == self._expect(pa.to_fraction() * pb.to_fraction())
+
+    @pytest.mark.parametrize("a, b", [(0.5, 0.25), (-3.0, 1.5), (1.0, 3.0)])
+    def test_div(self, a, b):
+        pa, pb = Posit.from_value(P8, a), Posit.from_value(P8, b)
+        assert pa / pb == self._expect(pa.to_fraction() / pb.to_fraction())
+
+    def test_exhaustive_add_small_format(self):
+        fmt = standard_format(5, 0)
+        reals = [
+            Posit.from_bits(fmt, b)
+            for b in fmt.all_patterns()
+            if b != fmt.nar_pattern
+        ]
+        for pa in reals:
+            for pb in reals:
+                expect = encode_fraction(fmt, pa.to_fraction() + pb.to_fraction())
+                assert (pa + pb).bits == expect
+
+    def test_exhaustive_mul_small_format(self):
+        fmt = standard_format(5, 1)
+        reals = [
+            Posit.from_bits(fmt, b)
+            for b in fmt.all_patterns()
+            if b != fmt.nar_pattern
+        ]
+        for pa in reals:
+            for pb in reals:
+                expect = encode_fraction(fmt, pa.to_fraction() * pb.to_fraction())
+                assert (pa * pb).bits == expect
+
+    def test_fma_single_rounding(self):
+        a = Posit.from_value(P8, 1.25)
+        b = Posit.from_value(P8, 1.25)
+        c = Posit.from_value(P8, -1.5)
+        exact = a.to_fraction() * b.to_fraction() + c.to_fraction()
+        assert a.fma(b, c) == Posit(P8, encode_fraction(P8, exact))
+
+    def test_scalar_coercion(self):
+        p = Posit.from_value(P8, 2.0)
+        assert (p + 1).to_fraction() == 3
+        assert (1 + p).to_fraction() == 3
+        assert (p * 2).to_fraction() == 4
+        assert (4 / p).to_fraction() == 2
+        assert (3 - p).to_fraction() == 1
+
+    def test_format_mismatch_raises(self):
+        other = Posit.from_value(standard_format(7, 0), 1.0)
+        with pytest.raises(TypeError):
+            Posit.from_value(P8, 1.0) + other
+
+
+class TestNaRSemantics:
+    def test_propagation(self):
+        nar = Posit.nar(P8)
+        one = Posit.from_value(P8, 1.0)
+        for result in (nar + one, one - nar, nar * one, nar / one, one / nar):
+            assert result.is_nar
+
+    def test_divide_by_zero_is_nar(self):
+        one = Posit.from_value(P8, 1.0)
+        assert (one / Posit.zero(P8)).is_nar
+
+    def test_nar_unordered(self):
+        with pytest.raises(NaRError):
+            Posit.nar(P8) < Posit.from_value(P8, 1.0)
+
+    def test_nar_not_equal_to_numbers(self):
+        assert Posit.nar(P8) != 0
+        assert Posit.nar(P8) == Posit.nar(P8)  # same pattern compares equal
+
+
+class TestNegAbs:
+    def test_neg_is_twos_complement(self, posit_fmt):
+        for bits in posit_fmt.all_patterns():
+            if bits == posit_fmt.nar_pattern:
+                continue
+            p = Posit.from_bits(posit_fmt, bits)
+            assert (-p).to_fraction() == -p.to_fraction()
+
+    def test_neg_zero_is_zero(self):
+        assert (-Posit.zero(P8)).is_zero
+
+    def test_neg_nar_is_nar(self):
+        assert (-Posit.nar(P8)).is_nar
+
+    def test_abs(self):
+        assert abs(Posit.from_value(P8, -2.0)).to_fraction() == 2
+        assert abs(Posit.from_value(P8, 2.0)).to_fraction() == 2
+
+
+class TestComparisons:
+    def test_total_order_matches_values(self):
+        fmt = standard_format(6, 0)
+        reals = [
+            Posit.from_bits(fmt, b) for b in fmt.all_patterns() if b != fmt.nar_pattern
+        ]
+        by_pattern = sorted(reals, key=lambda p: p._signed_pattern())
+        values = [p.to_fraction() for p in by_pattern]
+        assert values == sorted(values)
+        for a, b in zip(by_pattern, by_pattern[1:]):
+            assert a < b and b > a and a <= b and b >= a
+
+    def test_eq_with_numbers(self):
+        assert Posit.from_value(P8, 0.5) == 0.5
+        assert Posit.from_value(P8, 0.5) == Fraction(1, 2)
+        assert Posit.from_value(P8, 0.5) != 0.6
+
+    def test_hashable(self):
+        seen = {Posit.from_value(P8, 0.5), Posit.from_value(P8, 0.5)}
+        assert len(seen) == 1
+
+    def test_repr_mentions_nar(self):
+        assert "NaR" in repr(Posit.nar(P8))
+        assert "0.5" in repr(Posit.from_value(P8, 0.5))

@@ -1,0 +1,49 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the sweep-heavy ones are exercised by the
+benchmarks); each is executed in-process with its stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "posit<8,1> EMAC" in out
+        assert "round only once" in out.lower() or "rounds only once" in out.lower() \
+            or "round only once at the output" in out.lower() or "output" in out
+
+    def test_custom_network(self, capsys):
+        out = run_example("custom_network.py", capsys)
+        assert "distinct result(s)" in out
+        assert "exact EMAC   : 1 distinct" in out
+
+    def test_hardware_report(self, capsys):
+        out = run_example("hardware_report.py", capsys)
+        assert "Fig. 6" in out and "Fig. 8" in out
+        assert "quire width (eq. 4)" in out
+
+    @pytest.mark.slow
+    def test_iris_inference(self, capsys):
+        out = run_example("iris_inference.py", capsys)
+        assert "confusion matrix" in out
+        assert "accelerator synthesis" in out
