@@ -8,46 +8,32 @@ speedup of the limb-vectorized engine over the scalar soft-core models
 import numpy as np
 import pytest
 
-from repro.core import engine_for, scalar_emac_for
-from repro.fixedpoint import fixed_format
-from repro.floatp import float_format
+from repro import formats
 from repro.posit import Posit, Quire
 from repro.posit.format import standard_format
 
-FORMATS = {
-    "posit8es1": standard_format(8, 1),
-    "float8we4": float_format(4, 3),
-    "fixed8q4": fixed_format(8, 4),
-}
+FORMAT_NAMES = ("posit8_1", "float4_3", "fixed8_4")
 
 
-def _layer_patterns(fmt, rng, batch=64, fan_in=64, fan_out=16):
-    hi = 1 << fmt.n
+def _layer_patterns(backend, rng, batch=64, fan_in=64, fan_out=16):
+    hi = 1 << backend.width
     W = rng.integers(0, hi, size=(fan_out, fan_in), dtype=np.uint32)
     X = rng.integers(0, hi, size=(batch, fan_in), dtype=np.uint32)
-    from repro.posit.format import PositFormat
-    from repro.floatp.format import FloatFormat
-
-    if isinstance(fmt, PositFormat):
-        W[W == fmt.nar_pattern] = 0
-        X[X == fmt.nar_pattern] = 0
-    elif isinstance(fmt, FloatFormat):
-        from repro.floatp import tables_for
-
-        res = tables_for(fmt).is_reserved
-        W[res[W]] = 0
-        X[res[X]] = 0
+    tables = backend.limb_tables()
+    if tables is not None:
+        W[tables.invalid[W]] = 0
+        X[tables.invalid[X]] = 0
     return W, X
 
 
 @pytest.mark.benchmark(group="throughput-vector")
-@pytest.mark.parametrize("name", sorted(FORMATS))
+@pytest.mark.parametrize("name", FORMAT_NAMES)
 def test_vector_engine_throughput(benchmark, name):
     """Exact MACs/second of the vectorized engine (64x64 -> 16 layer)."""
-    fmt = FORMATS[name]
-    engine = engine_for(fmt)
+    backend = formats.get(name)
+    engine = backend.make_engine()
     rng = np.random.default_rng(1)
-    W, X = _layer_patterns(fmt, rng)
+    W, X = _layer_patterns(backend, rng)
     result = benchmark(engine.dot, W, X)
     assert result.shape == (64, 16)
     macs = 64 * 64 * 16
@@ -55,16 +41,32 @@ def test_vector_engine_throughput(benchmark, name):
 
 
 @pytest.mark.benchmark(group="throughput-scalar")
-@pytest.mark.parametrize("name", sorted(FORMATS))
+@pytest.mark.parametrize("name", FORMAT_NAMES)
 def test_scalar_emac_throughput(benchmark, name):
     """Reference scalar EMAC: one 64-MAC dot product."""
-    fmt = FORMATS[name]
-    emac = scalar_emac_for(fmt)
+    backend = formats.get(name)
+    emac = backend.make_scalar_emac()
     rng = np.random.default_rng(2)
-    W, X = _layer_patterns(fmt, rng, batch=1, fan_in=64, fan_out=1)
+    W, X = _layer_patterns(backend, rng, batch=1, fan_in=64, fan_out=1)
     ws = [int(w) for w in W[0]]
     xs = [int(x) for x in X[0]]
     benchmark(emac.dot, ws, xs)
+
+
+@pytest.mark.benchmark(group="quire-roundoff")
+def test_roundoff_seed_baseline(benchmark, quire_roundoff_case, roundoff_baseline):
+    """Seed path: per-quire big-int combine + scalar encode (the old loop)."""
+    backend, limbs = quire_roundoff_case
+    result = benchmark(roundoff_baseline, backend, limbs)
+    assert len(result) == limbs.shape[0] * limbs.shape[1]
+
+
+@pytest.mark.benchmark(group="quire-roundoff")
+def test_roundoff_vectorized(benchmark, quire_roundoff_case, roundoff_baseline):
+    """New path: one batched encode_from_quire_batch call, bit-identical."""
+    backend, limbs = quire_roundoff_case
+    result = benchmark(backend.encode_from_quire_batch, limbs)
+    assert [int(p) for p in result.ravel()] == roundoff_baseline(backend, limbs)
 
 
 @pytest.mark.benchmark(group="throughput-scalar")

@@ -20,10 +20,15 @@ Subpackages
     documented substitutions).
 ``repro.hw``
     Virtex-7-class structural synthesis model: LUTs, Fmax, power, EDP.
+``repro.formats``
+    The unified number-system backend registry: one ``NumericFormat`` per
+    system (decode tables, batched quantize/round-off, engine and EMAC
+    factories), addressed by name (``formats.get("posit8_1")``).
 ``repro.analysis``
     Experiment drivers reproducing every table and figure.
 """
 
+from . import formats
 from .core import (
     FixedEmac,
     FloatEmac,
@@ -38,6 +43,7 @@ from .posit import Posit, PositFormat, Quire, standard_format
 __version__ = "1.0.0"
 
 __all__ = [
+    "formats",
     "Posit",
     "PositFormat",
     "Quire",

@@ -9,8 +9,15 @@ Regenerate any paper artifact from the shell::
     python -m repro fig8        # n vs LUTs
     python -m repro fig9        # accuracy degradation vs EDP
     python -m repro table2     # headline accuracy table
-    python -m repro synth wbc  # accelerator synthesis roll-up
     python -m repro all        # everything above
+
+Number systems are addressed by registry name (``python -m repro formats``
+lists them); any registered family works end to end::
+
+    python -m repro formats                # registered families/candidates
+    python -m repro synth wbc posit8_1     # synthesis at a named format
+    python -m repro sweep iris 8           # full width-8 sweep, one dataset
+    python -m repro sweep iris float4_3    # one named config, one dataset
 """
 
 from __future__ import annotations
@@ -101,16 +108,55 @@ def _table2() -> str:
     return render_table2(table2_rows())
 
 
-def _synth(dataset: str) -> str:
+def _synth(dataset: str, format_name: str = "posit8_1") -> str:
+    from . import formats
     from .analysis import trained_model
     from .core import PositronNetwork
     from .hw import synthesize_network
-    from .posit import standard_format
 
+    backend = formats.get(format_name)
     tm = trained_model(dataset)
     weights, biases = tm.model.export_params()
-    net = PositronNetwork.from_float_params(standard_format(8, 1), weights, biases)
-    return f"[{dataset}, posit<8,1>]\n" + synthesize_network(net).render()
+    net = PositronNetwork.from_float_params(backend.fmt, weights, biases)
+    return f"[{dataset}, {backend.label}]\n" + synthesize_network(net).render()
+
+
+def _formats() -> str:
+    from . import formats
+
+    lines = ["Registered number-system families:"]
+    for family in formats.families():
+        lines.append(f"  {family.name:<8} ({family.fmt_type.__name__})")
+    lines.append("")
+    lines.append("Sweep candidates by width (canonical registry names):")
+    for n in (5, 6, 7, 8):
+        names = formats.available(widths=(n,))
+        lines.append(f"  n={n}: " + " ".join(names))
+    return "\n".join(lines)
+
+
+def _sweep(dataset: str, spec: str) -> str:
+    from .analysis import evaluate_named_format, sweep_width
+
+    if spec.isdigit():
+        sweep = sweep_width(dataset, int(spec))
+        lines = [
+            f"[{dataset}, n={spec}] float32 baseline "
+            f"{sweep['float32_accuracy']:.4f}"
+        ]
+        for row in sweep["all"]:
+            lines.append(f"  {row['label']:<16} {row['accuracy']:.4f}")
+        for family, best in sweep["best"].items():
+            if best is not None:
+                lines.append(
+                    f"best {family:<6} {best['label']:<16} {best['accuracy']:.4f}"
+                )
+        return "\n".join(lines)
+    result = evaluate_named_format(dataset, spec)
+    return (
+        f"[{result['dataset']}, {result['label']}] accuracy "
+        f"{result['accuracy']:.4f} (float32 {result['float32_accuracy']:.4f})"
+    )
 
 
 _COMMANDS = {
@@ -121,6 +167,7 @@ _COMMANDS = {
     "fig8": _fig8,
     "fig9": _fig9,
     "table2": _table2,
+    "formats": _formats,
 }
 
 
@@ -133,7 +180,23 @@ def main(argv: list[str] | None = None) -> int:
     command = args[0]
     if command == "synth":
         dataset = args[1] if len(args) > 1 else "wbc"
-        print(_synth(dataset))
+        format_name = args[2] if len(args) > 2 else "posit8_1"
+        try:
+            print(_synth(dataset, format_name))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if command == "sweep":
+        if len(args) < 3:
+            print("usage: python -m repro sweep <dataset> <width|format-name>",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(_sweep(args[1], args[2]))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
         return 0
     if command == "all":
         for name, fn in _COMMANDS.items():

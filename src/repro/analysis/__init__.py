@@ -12,6 +12,7 @@ from .sweep import (
     ExperimentSpec,
     TrainedModel,
     evaluate_config,
+    evaluate_named_format,
     figure9_series,
     sweep_width,
     table2_rows,
@@ -49,6 +50,7 @@ __all__ = [
     "TrainedModel",
     "trained_model",
     "evaluate_config",
+    "evaluate_named_format",
     "sweep_width",
     "table2_rows",
     "figure9_series",

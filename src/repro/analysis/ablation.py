@@ -21,12 +21,10 @@ from fractions import Fraction
 
 import numpy as np
 
+from .. import formats
 from ..core.positron import PositronNetwork, scalar_emac_for
 from ..core.vector import engine_for
-from ..fixedpoint.format import FixedFormat
-from ..floatp.format import FloatFormat
 from ..nn.quantize import quantize_nearest
-from ..posit.format import PositFormat
 
 __all__ = [
     "naive_forward",
@@ -79,41 +77,7 @@ def naive_accuracy(
 
 def _truncate_to_format(fmt, value: Fraction) -> int:
     """Round ``value`` toward zero to the nearest format pattern."""
-    if value == 0:
-        return 0
-    if isinstance(fmt, FixedFormat):
-        scaled = value * (1 << fmt.q)
-        raw = scaled.numerator // scaled.denominator
-        if value < 0 and scaled.denominator != 1 and scaled.numerator % scaled.denominator:
-            raw += 1  # floor -> toward zero for negatives
-        raw = max(fmt.int_min, min(fmt.int_max, raw))
-        return raw & fmt.mask
-    # posit / float: walk down from the RNE result if it overshot.
-    if isinstance(fmt, PositFormat):
-        from ..posit.decode import decode
-        from ..posit.encode import encode_fraction
-
-        bits = encode_fraction(fmt, value)
-        got = decode(fmt, bits).to_fraction()
-        if abs(got) > abs(value):
-            signed = bits - (1 << fmt.n) if bits & fmt.sign_mask else bits
-            signed += -1 if value > 0 else 1
-            bits = signed % (1 << fmt.n)
-            if bits == fmt.nar_pattern:
-                bits = 0
-        return bits
-    if isinstance(fmt, FloatFormat):
-        from ..floatp.codec import decode, encode_fraction
-
-        bits = encode_fraction(fmt, value)
-        got = decode(fmt, bits).to_fraction()
-        if abs(got) > abs(value):
-            sign = bits & fmt.sign_mask
-            mag = bits & ~fmt.sign_mask & fmt.mask
-            mag = max(0, mag - 1)
-            bits = sign | mag
-        return bits
-    raise TypeError(f"unsupported format {type(fmt).__name__}")
+    return formats.backend_for(fmt).truncate_scalar(value)
 
 
 def truncated_forward_scalar(network: PositronNetwork, sample: np.ndarray) -> list[int]:

@@ -17,6 +17,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .. import formats
 from ..core.positron import PositronNetwork
 from ..datasets import load_iris, load_mushroom, load_wbc
 from ..datasets.splits import Dataset
@@ -33,6 +34,7 @@ __all__ = [
     "TrainedModel",
     "trained_model",
     "evaluate_config",
+    "evaluate_named_format",
     "sweep_width",
     "table2_rows",
     "figure9_series",
@@ -134,6 +136,24 @@ def evaluate_config(tm: TrainedModel, config: FormatConfig) -> float:
     return network.accuracy(tm.dataset.test_x, tm.dataset.test_y)
 
 
+def evaluate_named_format(dataset_name: str, format_name: str) -> dict:
+    """Deploy one dataset's parent model at a registry-named format.
+
+    End-to-end by-name path (CLI ``python -m repro sweep iris posit8_1``):
+    any registered family works without further code changes.
+    """
+    backend = formats.get(format_name)
+    tm = trained_model(dataset_name)
+    config = FormatConfig(backend.family, backend.fmt)
+    return {
+        "dataset": dataset_name,
+        "format": backend.name,
+        "label": backend.label,
+        "accuracy": evaluate_config(tm, config),
+        "float32_accuracy": tm.float32_accuracy,
+    }
+
+
 def _sweep_width_uncached(dataset_name: str, n: int) -> dict:
     tm = trained_model(dataset_name)
     results = []
@@ -143,7 +163,7 @@ def _sweep_width_uncached(dataset_name: str, n: int) -> dict:
             {"family": config.family, "label": config.label, "accuracy": acc}
         )
     best = {}
-    for family in ("posit", "float", "fixed"):
+    for family in (f.name for f in formats.families() if f.sweep_candidates):
         fam = [r for r in results if r["family"] == family]
         best[family] = max(fam, key=lambda r: r["accuracy"]) if fam else None
     return {
@@ -195,18 +215,8 @@ def figure9_series(
     degradation per width); EDP comes from the hardware model for the
     best-performing configuration, averaged across datasets.
     """
-    from ..fixedpoint.format import fixed_format
-    from ..floatp.format import float_format
-    from ..posit.format import standard_format
-
     def config_from_label(label: str):
-        kind, args = label.split("<")
-        nums = [int(x) for x in args.rstrip(">").split(",") if x]
-        if kind == "posit":
-            return standard_format(nums[0], nums[1])
-        if kind == "float":
-            return float_format(nums[1], nums[2])
-        return fixed_format(nums[0], nums[1])
+        return formats.get(label).fmt
 
     series: dict[str, list[dict]] = {"posit": [], "float": [], "fixed": []}
     for n in widths:

@@ -18,6 +18,8 @@ from fractions import Fraction
 
 import numpy as np
 
+from ..formats.quire import LIMB_BITS
+
 __all__ = [
     "LIMB_BITS",
     "ExactAccumulator",
@@ -25,11 +27,6 @@ __all__ = [
     "combine_limb_matrix",
     "limbs_needed",
 ]
-
-#: Width of one vector-engine limb.  Terms are ``product << (shift % 2**LIMB_BITS)``
-#: with products below 2**12 at the paper's widths, so per-limb partial sums
-#: stay far below 2**53 and remain exact even through float64 staging.
-LIMB_BITS = 20
 
 
 class ExactAccumulator:

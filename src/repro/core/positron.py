@@ -23,14 +23,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..fixedpoint.format import FixedFormat
-from ..floatp.format import FloatFormat
-from ..posit.format import PositFormat
+from .. import formats
 from .control import InferenceTiming, network_timing
 from .emac_base import Emac
-from .emac_fixed import FixedEmac
-from .emac_float import FloatEmac
-from .emac_posit import PositEmac
 from .memory import LayerMemory
 from .vector import VectorEngine, engine_for
 
@@ -41,14 +36,8 @@ _ACTIVATIONS = ("relu", "identity")
 
 
 def scalar_emac_for(fmt) -> Emac:
-    """Reference scalar EMAC for any supported format."""
-    if isinstance(fmt, PositFormat):
-        return PositEmac(fmt)
-    if isinstance(fmt, FloatFormat):
-        return FloatEmac(fmt)
-    if isinstance(fmt, FixedFormat):
-        return FixedEmac(fmt)
-    raise TypeError(f"no EMAC for {type(fmt).__name__}")
+    """Reference scalar EMAC for any registered format."""
+    return formats.backend_for(fmt).make_scalar_emac()
 
 
 @dataclass

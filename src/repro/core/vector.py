@@ -4,18 +4,23 @@ Running Table II's experiments needs millions of exact MACs, far too many
 for the scalar reference cores.  These engines compute *bit-identical*
 results with numpy:
 
-* every pattern's signed aligned significand and non-negative shift
-  (``scale - min_scale``) come from the format's decode tables;
-* each product term ``(+-sig_w * +-sig_a) << ((shift_w + shift_a) % L)`` fits
-  comfortably in an int64 limb; the limb index is ``shift // L``;
-* per-(sample, neuron) limb sums are formed with one ``np.bincount`` over a
-  flattened composite index (partial sums stay below 2**53, so staging
-  through float64 is exact);
-* limbs are combined into exact Python integers and rounded once via the
-  same ``encode_exact`` the scalar cores use.
+* every pattern's exact aligned value ``(-1)**sign * sig << shift`` (from
+  the format backend's decode tables) is decomposed once, per pattern, into
+  a handful of signed base-``2**LIMB_BITS`` digits;
+* a product's limb-``k`` contribution is the convolution of the operand
+  digits: ``limbs[b, o, k] = sum_{l+m=k} (A_m @ W_l.T)[b, o]`` — one float64
+  BLAS matmul per (l, m) digit-plane pair (digits are < 2**20, so per-limb
+  partial sums stay far below 2**53 and the float64 staging is exact);
+* the limb tensor is rounded once, whole batches at a time, by the
+  backend's :meth:`~repro.formats.NumericFormat.encode_from_quire_batch` —
+  no per-sample Python loop anywhere on the hot path.
 
 The fixed-point engine is simpler: an int64 matmul is already exact at the
 paper's widths.
+
+Engines are obtained from the format registry (``engine_for``); the engine
+layer itself is format-agnostic and knows nothing about concrete number
+systems.
 """
 
 from __future__ import annotations
@@ -24,21 +29,17 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from .. import formats
 from ..fixedpoint import codec as fx
 from ..fixedpoint.format import FixedFormat
-from ..floatp import tables as ft
-from ..floatp.codec import encode_exact as float_encode_exact
-from ..floatp.format import FloatFormat
-from ..posit import tables as pt
-from ..posit.encode import encode_exact as posit_encode_exact
-from ..posit.format import PositFormat
-from .accumulator import LIMB_BITS, combine_limbs
+from .accumulator import LIMB_BITS
 
 __all__ = [
     "VectorEngine",
     "FixedVectorEngine",
     "FloatVectorEngine",
     "PositVectorEngine",
+    "TableVectorEngine",
     "engine_for",
 ]
 
@@ -139,37 +140,66 @@ class FixedVectorEngine(VectorEngine):
         return fx.quantize_array(self.fmt, values)
 
 
-class _LimbEngine(VectorEngine):
-    """Shared limb-accumulation machinery for posit and float engines."""
+class TableVectorEngine(VectorEngine):
+    """Limb-accumulating engine over any table-driven format backend.
 
-    #: Per-pattern arrays, filled by subclasses.
-    _signed_sig: np.ndarray  # int64: (-1)**sign * aligned significand
-    _shift: np.ndarray  # int64: scale - min_scale (>= 0)
-    _relu: np.ndarray
-    _float_value: np.ndarray
-    _invalid: np.ndarray  # bool: patterns the datapath must never see
+    The backend supplies the decode tables and the batched round-once
+    output stage; this class only runs the exact accumulation.
+    """
 
-    #: Quire/accumulator LSB exponent and shift of a *term* with
-    #: shift_w == shift_a == 0 (i.e. exponent of sig_w*sig_a at min scales).
-    _lsb_exponent: int
-
-    def __init__(self, max_shift: int, sig_bits: int):
-        max_term_bits = 2 * sig_bits + LIMB_BITS
+    def __init__(self, backend: formats.NumericFormat):
+        tables = backend.limb_tables()
+        if tables is None:
+            raise TypeError(f"{backend.name} has no limb decode tables")
+        self.backend = backend
+        self.fmt = backend.fmt
+        max_term_bits = 2 * tables.sig_bits + LIMB_BITS
         if max_term_bits > 62:
             raise ValueError("significand products too wide for int64 limbs")
-        self._num_limbs = (max_shift + max_term_bits) // LIMB_BITS + 2
+        self._num_limbs = (tables.max_shift + max_term_bits) // LIMB_BITS + 2
+        self._tables = tables
+        self._digits = self._build_digit_table(tables)
 
-    # -- subclass hooks -------------------------------------------------
-    @abstractmethod
-    def _encode(self, sign: int, magnitude: int) -> int:
-        """Round |quire| * 2**lsb_exponent to an output pattern."""
+    @staticmethod
+    def _build_digit_table(tables: formats.LimbTables) -> np.ndarray:
+        """Signed base-``2**LIMB_BITS`` digits of each pattern's value.
+
+        Pattern ``p`` represents the exact integer ``signed_sig[p] <<
+        shift[p]`` (in quire-LSB units of one *input*); entry ``[p, l]`` is
+        its signed digit of weight ``2**(LIMB_BITS * l)``.  Stored as
+        float64 (digits are < 2**20, exactly representable) so the dot
+        product's digit-plane contractions run on BLAS.
+        """
+        sig = tables.signed_sig
+        mag = np.abs(sig)
+        coarse, rem = np.divmod(tables.shift, LIMB_BITS)
+        m = mag << rem  # < 2**(sig_bits + LIMB_BITS - 1), fits easily
+        max_input_shift = tables.max_shift // 2
+        num = (max_input_shift + tables.sig_bits) // LIMB_BITS + 2
+        digits = np.zeros((sig.shape[0], num), dtype=np.int64)
+        rows = np.arange(sig.shape[0])
+        mask = (1 << LIMB_BITS) - 1
+        for l in range((tables.sig_bits + LIMB_BITS - 1) // LIMB_BITS + 1):
+            digits[rows, coarse + l] += (m >> (LIMB_BITS * l)) & mask
+        digits *= np.sign(sig)[:, None]
+        return digits.astype(np.float64)
+
+    @property
+    def width(self) -> int:
+        """Input width ``n``."""
+        return self.fmt.n
+
+    @property
+    def num_limbs(self) -> int:
+        """Limbs per quire in this engine's accumulation tensors."""
+        return self._num_limbs
 
     # -- shared ---------------------------------------------------------
     def _check_patterns(self, patterns: np.ndarray, what: str) -> np.ndarray:
         p = np.asarray(patterns, dtype=np.int64)
-        if p.size and (p.min() < 0 or p.max() >= self._signed_sig.shape[0]):
+        if p.size and (p.min() < 0 or p.max() >= self._tables.signed_sig.shape[0]):
             raise ValueError(f"{what} pattern out of range")
-        if np.any(self._invalid[p]):
+        if np.any(self._tables.invalid[p]):
             raise ValueError(f"{what} contains NaR/reserved patterns")
         return p
 
@@ -184,149 +214,89 @@ class _LimbEngine(VectorEngine):
         out_dim, in_dim = wp.shape
         batch = ap.shape[0]
         L = self._num_limbs
+        planes = self._digits.shape[1]
+        if in_dim > 1 << 20:
+            raise ValueError(f"fan-in {in_dim} overflows int64 limb sums")
+        # Digit products are < 2**(2*LIMB_BITS); each float64 matmul must
+        # reduce few enough of them to stay exact, so huge fan-ins are fed
+        # through in chunks and accumulated in int64.
+        in_chunk = max(1, (1 << (53 - 2 * LIMB_BITS)) // max(1, planes))
 
-        sig_w = self._signed_sig[wp]  # (out, in)
-        sh_w = self._shift[wp]
-        sig_a = self._signed_sig[ap]  # (batch, in)
-        sh_a = self._shift[ap]
+        dig_w = self._digits[wp]  # (out, in, planes)
+        dig_a = self._digits[ap]  # (batch, in, planes)
+        w_live = [dig_w[:, :, l] for l in range(planes)]
+        w_used = [w.any() for w in w_live]
 
-        bias_quire = self._bias_quires(bias, out_dim)
+        bias_limbs = self._bias_limbs(bias, out_dim)
 
-        chunk = max(1, _CHUNK_ELEMENTS // max(1, out_dim * in_dim))
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, out_dim * L))
         out = np.empty((batch, out_dim), dtype=np.uint32)
         for start in range(0, batch, chunk):
             stop = min(batch, start + chunk)
-            nb = stop - start
-            # (nb, out, in) term tensors.
-            term = sig_a[start:stop, None, :] * sig_w[None, :, :]
-            shift = sh_a[start:stop, None, :] + sh_w[None, :, :]
-            limb = shift // LIMB_BITS
-            rem = shift - limb * LIMB_BITS
-            term <<= rem
-            # Composite index (sample, neuron, limb) -> flat bincount.
-            base = np.arange(nb * out_dim, dtype=np.int64).reshape(nb, out_dim)
-            flat = (base[:, :, None] * L + limb).ravel()
-            sums = np.bincount(
-                flat, weights=term.ravel().astype(np.float64), minlength=nb * out_dim * L
-            )
-            limbs = sums.astype(np.int64).reshape(nb, out_dim, L)
-            for i in range(nb):
-                for o in range(out_dim):
-                    quire = combine_limbs(limbs[i, o]) + bias_quire[o]
-                    if quire == 0:
-                        out[start + i, o] = self._zero_pattern
-                    elif quire < 0:
-                        out[start + i, o] = self._encode(1, -quire)
-                    else:
-                        out[start + i, o] = self._encode(0, quire)
+            limbs = np.zeros((stop - start, out_dim, L), dtype=np.int64)
+            for istart in range(0, in_dim, in_chunk):
+                istop = min(in_dim, istart + in_chunk)
+                limbs_f = np.zeros((stop - start, out_dim, L), dtype=np.float64)
+                for m in range(planes):
+                    a_plane = dig_a[start:stop, istart:istop, m]
+                    if not a_plane.any():
+                        continue
+                    for l in range(planes):
+                        if w_used[l]:
+                            limbs_f[:, :, l + m] += a_plane @ w_live[l][:, istart:istop].T
+                limbs += limbs_f.astype(np.int64)
+            if bias_limbs is not None:
+                limbs += bias_limbs[None, :, :]
+            out[start:stop] = self.backend.encode_from_quire_batch(limbs)
         return out
 
-    def _bias_quires(self, bias, out_dim: int) -> list[int]:
-        """Exact quire-aligned integer for each bias pattern."""
+    def _bias_limbs(self, bias, out_dim: int) -> np.ndarray | None:
+        """Each bias pattern as quire-aligned limbs, shape (out, L)."""
         if bias is None:
-            return [0] * out_dim
+            return None
+        t = self._tables
         bp = self._check_patterns(np.asarray(bias, dtype=np.uint32), "bias")
-        quires = []
-        for pattern in bp:
-            sig = int(self._signed_sig[pattern])
-            shift = int(self._shift[pattern]) + self._bias_extra_shift
-            quires.append(sig << shift)
-        return quires
-
-    #: Extra left shift aligning a single *input* (not product) to the quire:
-    #: inputs sit one min_scale and one significand-width above the quire LSB.
-    _bias_extra_shift: int
-    _zero_pattern: int
+        sig = t.signed_sig[bp]
+        total_shift = t.shift[bp] + t.bias_extra_shift
+        idx = total_shift // LIMB_BITS
+        rem = total_shift - idx * LIMB_BITS
+        limbs = np.zeros((out_dim, self._num_limbs), dtype=np.int64)
+        limbs[np.arange(out_dim), idx] = sig << rem
+        return limbs
 
     def relu(self, patterns):
-        """Table-driven ReLU."""
-        return self._relu[np.asarray(patterns, dtype=np.int64)].astype(np.uint32)
+        """Table-driven ReLU (backend-delegated)."""
+        return self.backend.relu_batch(patterns)
 
     def decode_values(self, patterns):
-        """Table-driven decode to float64."""
-        return self._float_value[np.asarray(patterns, dtype=np.int64)]
+        """Table-driven decode to float64 (backend-delegated)."""
+        return self.backend.decode_batch(patterns)
+
+    def quantize(self, values):
+        """float64 -> nearest patterns (backend-vectorized, bit-exact)."""
+        return self.backend.quantize_batch(values)
 
 
-class PositVectorEngine(_LimbEngine):
+class PositVectorEngine(TableVectorEngine):
     """Exact posit dot products (Fig. 5 / Algorithm 2 semantics)."""
 
-    def __init__(self, fmt: PositFormat):
-        self.fmt = fmt
-        t = pt.tables_for(fmt)
-        sig_bits = fmt.significand_bits
-        max_shift = 4 * fmt.max_scale  # (scale-min)*2 at both maxima
-        super().__init__(max_shift=max_shift, sig_bits=sig_bits)
-        sign = t.sign.astype(np.int64)
-        self._signed_sig = np.where(sign == 1, -t.significand, t.significand)
-        self._shift = (t.scale.astype(np.int64) - fmt.min_scale) * ~(
-            t.is_zero | t.is_nar
-        )
-        self._relu = t.relu.astype(np.int64)
-        self._float_value = t.float_value
-        self._invalid = t.is_nar
-        # Quire LSB: product of two minimum-scale aligned significands.
-        self._lsb_exponent = 2 * (fmt.min_scale - fmt.max_fraction_bits)
-        # An input value sig * 2**(scale - max_frac): shift over quire LSB is
-        # (scale - min_scale) + (min_scale - max_frac) - lsb
-        #   = shift + (max_frac - 2*min_scale + 2*min_scale ... ) simplified:
-        self._bias_extra_shift = fmt.max_fraction_bits - fmt.min_scale
-        self._zero_pattern = fmt.zero_pattern
-
-    @property
-    def width(self) -> int:
-        """Input width ``n``."""
-        return self.fmt.n
-
-    def _encode(self, sign: int, magnitude: int) -> int:
-        return posit_encode_exact(self.fmt, sign, magnitude, self._lsb_exponent)
-
-    def quantize(self, values):
-        """float64 -> nearest posit patterns."""
-        return pt.quantize_array(self.fmt, values)
+    def __init__(self, fmt):
+        backend = formats.backend_for(fmt)
+        if not isinstance(backend, formats.PositBackend):
+            raise TypeError(f"PositVectorEngine needs a posit format, got {fmt}")
+        super().__init__(backend)
 
 
-class FloatVectorEngine(_LimbEngine):
+class FloatVectorEngine(TableVectorEngine):
     """Exact small-float dot products (Fig. 4 semantics)."""
 
-    def __init__(self, fmt: FloatFormat):
-        self.fmt = fmt
-        t = ft.tables_for(fmt)
-        sig_bits = fmt.wf + 1
-        # shift = scale - (1 - bias) per operand; max 2*(max_scale - min normal scale)
-        max_shift = 2 * (fmt.max_scale - (1 - fmt.bias))
-        super().__init__(max_shift=max_shift, sig_bits=sig_bits)
-        sign = t.sign.astype(np.int64)
-        self._signed_sig = np.where(sign == 1, -t.significand, t.significand)
-        self._shift = (t.scale.astype(np.int64) - (1 - fmt.bias)).clip(min=0)
-        self._relu = t.relu.astype(np.int64)
-        self._float_value = t.float_value
-        self._invalid = t.is_reserved
-        # Quire LSB: product of two subnormal LSBs = 2**(2 * min_scale).
-        self._lsb_exponent = 2 * fmt.min_scale
-        # Input value = sig * 2**(scale - wf); over the quire LSB:
-        # (scale - (1-bias)) + ((1-bias) - wf - 2*min_scale) = shift + extra.
-        self._bias_extra_shift = (1 - fmt.bias) - fmt.wf - 2 * fmt.min_scale
-        self._zero_pattern = 0
-
-    @property
-    def width(self) -> int:
-        """Input width ``n = 1 + we + wf``."""
-        return self.fmt.n
-
-    def _encode(self, sign: int, magnitude: int) -> int:
-        return float_encode_exact(self.fmt, sign, magnitude, self._lsb_exponent)
-
-    def quantize(self, values):
-        """float64 -> nearest float patterns."""
-        return ft.quantize_array(self.fmt, values)
+    def __init__(self, fmt):
+        backend = formats.backend_for(fmt)
+        if not isinstance(backend, formats.FloatBackend):
+            raise TypeError(f"FloatVectorEngine needs a float format, got {fmt}")
+        super().__init__(backend)
 
 
 def engine_for(fmt) -> VectorEngine:
-    """Engine factory dispatching on the format type."""
-    if isinstance(fmt, PositFormat):
-        return PositVectorEngine(fmt)
-    if isinstance(fmt, FloatFormat):
-        return FloatVectorEngine(fmt)
-    if isinstance(fmt, FixedFormat):
-        return FixedVectorEngine(fmt)
-    raise TypeError(f"no vector engine for {type(fmt).__name__}")
+    """Engine factory: resolve the format's registered backend."""
+    return formats.backend_for(fmt).make_engine()

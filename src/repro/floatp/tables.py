@@ -15,7 +15,6 @@ import numpy as np
 
 from .codec import decode
 from .format import FloatFormat
-from .value import FloatP
 
 __all__ = ["FloatTables", "tables_for"]
 
@@ -91,21 +90,53 @@ def tables_for(fmt: FloatFormat) -> FloatTables:
     return _build(fmt)
 
 
+@lru_cache(maxsize=32)
+def _sorted_value_table(fmt: FloatFormat):
+    """(values, patterns) of every real pattern, sorted ascending by value.
+
+    The stable sort keeps +0 (pattern 0) ahead of -0 among the equal keys.
+    """
+    t = tables_for(fmt)
+    real = ~t.is_reserved
+    patterns = np.nonzero(real)[0].astype(np.uint32)
+    values = t.float_value[real]
+    order = np.argsort(values, kind="stable")
+    return values[order], patterns[order]
+
+
 def quantize_array(fmt: FloatFormat, values: np.ndarray) -> np.ndarray:
-    """Round a float array to patterns of ``fmt`` (uint32), elementwise."""
-    flat = np.asarray(values, dtype=np.float64).ravel()
+    """Round a float array to patterns of ``fmt`` (uint32), vectorized.
+
+    Nearest-value search over the sorted pattern table with ties to the
+    even pattern: consecutive same-sign patterns differ by one ULP, so this
+    reproduces the scalar encoder's round-to-nearest-even bit for bit
+    (including the signed-zero underflow results).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    flat = arr.ravel()
     if not np.all(np.isfinite(flat)):
         raise ValueError("cannot quantize non-finite values")
-    out = np.empty(flat.shape, dtype=np.uint32)
-    cache: dict[float, int] = {}
-    for i, v in enumerate(flat):
-        key = float(v)
-        bits = cache.get(key)
-        if bits is None:
-            bits = FloatP.from_value(fmt, key).bits
-            cache[key] = bits
-        out[i] = bits
-    return out.reshape(np.asarray(values).shape)
+    table_values, table_patterns = _sorted_value_table(fmt)
+    idx = np.searchsorted(table_values, flat, side="left")
+    idx = np.clip(idx, 1, len(table_values) - 1)
+    left = table_values[idx - 1]
+    right = table_values[idx]
+    pick_right = (right - flat) < (flat - left)
+    tie = (right - flat) == (flat - left)
+    # On a tie pick the neighbor whose pattern is even (RNE in pattern space).
+    right_even = (table_patterns[idx] & 1) == 0
+    out_idx = np.where(pick_right | (tie & right_even), idx, idx - 1)
+    # Saturate exact out-of-range values.
+    out_idx = np.where(flat <= table_values[0], 0, out_idx)
+    out_idx = np.where(flat >= table_values[-1], len(table_values) - 1, out_idx)
+    result = table_patterns[out_idx]
+    # The scalar encoder returns *signed* zero on underflow; the value table
+    # cannot distinguish +-0, so patch magnitude-zero results by input sign.
+    mag_zero = (result & np.uint32(fmt.mask & ~fmt.sign_mask)) == 0
+    result = np.where(
+        mag_zero, np.where(flat < 0, np.uint32(fmt.sign_mask), np.uint32(0)), result
+    )
+    return result.astype(np.uint32).reshape(arr.shape)
 
 
 def dequantize_array(fmt: FloatFormat, patterns: np.ndarray) -> np.ndarray:

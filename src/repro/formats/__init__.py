@@ -1,0 +1,56 @@
+"""Unified number-system backends for the EMAC architecture.
+
+One :class:`NumericFormat` backend per number system (posit, small float,
+fixed point), each bundling decode tables, bit-exact batched quantization,
+the fully vectorized quire round-off stage, and engine/EMAC factories —
+plus a name-based registry so formats are addressed as ``posit8_1`` or
+``posit<8,1>`` everywhere (CLI, sweeps, quantizers) instead of via
+``isinstance`` chains.
+
+    >>> from repro import formats
+    >>> backend = formats.get("posit8_1")
+    >>> engine = backend.make_engine()
+
+Registering a new family (see :class:`~repro.formats.registry.FormatFamily`)
+plugs it into the vector engines, scalar EMACs, quantizers, accuracy sweeps,
+and the CLI with no further code changes.
+"""
+
+from .base import LimbTables, NumericFormat
+from .quire import (
+    LIMB_BITS,
+    NormalizedQuire,
+    bit_length_int64,
+    normalize_quire_limbs,
+)
+from .registry import (
+    FormatFamily,
+    available,
+    backend_for,
+    families,
+    get,
+    register_family,
+    unregister_family,
+)
+from .fixed_backend import FixedBackend
+from .float_backend import FloatBackend
+from .posit_backend import PositBackend
+
+__all__ = [
+    "NumericFormat",
+    "LimbTables",
+    "LIMB_BITS",
+    "NormalizedQuire",
+    "normalize_quire_limbs",
+    "bit_length_int64",
+    "FormatFamily",
+    "register_family",
+    "unregister_family",
+    "families",
+    "get",
+    "backend_for",
+    "available",
+    "PositBackend",
+    "FloatBackend",
+    "FixedBackend",
+]

@@ -1,0 +1,133 @@
+"""The ``NumericFormat`` backend protocol.
+
+Every number system the EMAC architecture supports is wrapped in one
+:class:`NumericFormat` backend that bundles, behind a uniform interface,
+everything the rest of the library needs:
+
+* **metadata** — family string, canonical registry name, label, width;
+* **decode tables** (:class:`LimbTables`) feeding the limb-accumulating
+  vector engine, or ``None`` for formats with an exact int64 matmul path;
+* **batched kernels** — ``quantize_batch`` / ``decode_batch`` /
+  ``relu_batch`` and the fully vectorized ``encode_from_quire_batch``
+  round-once output stage;
+* **factories** for the vectorized engine and the scalar reference EMAC
+  (imported lazily so ``repro.formats`` never depends on ``repro.core`` at
+  import time);
+* **scalar reference hooks** (``encode_from_quire_scalar``,
+  ``truncate_scalar``) used by property tests, microbenchmark baselines,
+  and the rounding-mode ablations.
+
+Adding a number system to the library means implementing this class and
+registering it once (:func:`repro.formats.register_family`); no call site
+dispatches on concrete format types anymore.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = ["LimbTables", "NumericFormat"]
+
+
+@dataclass(frozen=True)
+class LimbTables:
+    """Per-pattern decode tables consumed by the limb vector engine.
+
+    Indexed by bit pattern.  ``signed_sig`` is the signed aligned
+    significand (the EMAC multiplier input with its sign applied) and
+    ``shift`` the non-negative alignment ``scale - min_scale``; a product
+    term contributes ``signed_sig_w * signed_sig_a`` at quire bit position
+    ``shift_w + shift_a``.
+    """
+
+    signed_sig: np.ndarray  # int64
+    shift: np.ndarray  # int64, >= 0
+    invalid: np.ndarray  # bool: patterns the datapath must never see
+    relu: np.ndarray  # int64 pattern map
+    float_value: np.ndarray  # float64
+    max_shift: int  # largest shift_w + shift_a
+    sig_bits: int  # aligned significand width
+    bias_extra_shift: int  # aligns a single input (not product) to the quire
+
+
+class NumericFormat(ABC):
+    """Uniform backend over one concrete number-system format descriptor."""
+
+    #: Family identifier, e.g. ``"posit"`` — shared by all widths/configs.
+    family: str
+
+    def __init__(self, fmt: object):
+        self.fmt = fmt
+
+    # -- metadata -------------------------------------------------------
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Canonical registry name, e.g. ``posit8_1``."""
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier, e.g. ``posit<8,1>``."""
+        return str(self.fmt)
+
+    @property
+    def width(self) -> int:
+        """Total pattern width in bits."""
+        return self.fmt.n
+
+    @property
+    @abstractmethod
+    def quire_lsb_exponent(self) -> int:
+        """Power-of-two weight of the exact accumulator's LSB."""
+
+    # -- vectorized kernels ---------------------------------------------
+    def limb_tables(self) -> LimbTables | None:
+        """Decode tables for the limb engine; ``None`` if not table-driven."""
+        return None
+
+    @abstractmethod
+    def quantize_batch(self, values: np.ndarray) -> np.ndarray:
+        """float64 array -> nearest patterns (uint32), bit-exact RNE."""
+
+    @abstractmethod
+    def decode_batch(self, patterns: np.ndarray) -> np.ndarray:
+        """Patterns -> float64 values."""
+
+    @abstractmethod
+    def relu_batch(self, patterns: np.ndarray) -> np.ndarray:
+        """Elementwise ReLU on patterns (negatives -> zero pattern)."""
+
+    @abstractmethod
+    def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
+        """Round a ``(..., L)`` tensor of exact quire limbs to patterns.
+
+        Limbs are unnormalized int64 digits of weight ``2**(i * LIMB_BITS)``
+        over a quire whose LSB weighs ``2**quire_lsb_exponent``.  Returns a
+        ``(...)`` uint32 pattern array, bit-identical to rounding each quire
+        once with the scalar encoder.
+        """
+
+    # -- scalar reference hooks -----------------------------------------
+    @abstractmethod
+    def encode_from_quire_scalar(self, quire: int) -> int:
+        """Round one exact quire integer to a pattern (reference path)."""
+
+    @abstractmethod
+    def truncate_scalar(self, value: Fraction) -> int:
+        """Round ``value`` toward zero to a pattern (ablation reference)."""
+
+    # -- factories (lazy core imports; formats must not import core) ----
+    @abstractmethod
+    def make_engine(self):
+        """Vectorized EMAC engine for this format."""
+
+    @abstractmethod
+    def make_scalar_emac(self):
+        """Reference scalar EMAC for this format."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.label})"

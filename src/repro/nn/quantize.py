@@ -4,26 +4,23 @@ The paper trains at 32-bit float and deploys at [5,8]-bit without
 retraining; the only free knobs are the format parameters (``es`` for posit,
 ``we`` for float, ``q`` for fixed).  This module provides:
 
-* fast exact-nearest quantization via sorted value tables (bit-identical to
-  the scalar RNE encoders, verified by tests);
+* fast exact-nearest quantization (:func:`quantize_nearest`), delegating to
+  the registered :mod:`repro.formats` backend of any number system —
+  bit-identical to the scalar RNE encoders, verified by tests;
 * per-format configuration search (:func:`best_fixed_q`,
   :func:`candidate_configs`) used by the Table II / Fig. 9 sweeps.
+  Candidate enumeration walks the format registry, so a newly registered
+  family joins the sweeps automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
-from ..fixedpoint import codec as fx
+from .. import formats
 from ..fixedpoint.format import FixedFormat, fixed_format
-from ..floatp import tables as ft
-from ..floatp.format import FloatFormat, float_format
-from ..posit import tables as pt
-from ..posit.decode import decode as posit_decode
-from ..posit.format import PositFormat, standard_format
 
 __all__ = [
     "FormatConfig",
@@ -38,7 +35,7 @@ __all__ = [
 class FormatConfig:
     """A named numerical configuration used in the sweeps."""
 
-    family: str  # "posit" | "float" | "fixed"
+    family: str  # registry family name, e.g. "posit" | "float" | "fixed"
     fmt: object
 
     @property
@@ -47,133 +44,34 @@ class FormatConfig:
         return str(self.fmt)
 
     @property
+    def name(self) -> str:
+        """Canonical registry name (e.g. ``posit8_1``)."""
+        return formats.backend_for(self.fmt).name
+
+    @property
     def width(self) -> int:
         """Total bits."""
         return self.fmt.n
 
 
-def _table_quantize(values: np.ndarray, table_values: np.ndarray,
-                    table_patterns: np.ndarray) -> np.ndarray:
-    """Nearest-value quantization with ties to the even-indexed neighbor.
-
-    ``table_values`` must be sorted ascending with ``table_patterns``
-    aligned.  Because consecutive patterns of both posit and small-float
-    formats differ by one ULP, nearest-value with tie-to-lower-index-parity
-    reproduces round-to-nearest-even in pattern space.
-    """
-    v = np.asarray(values, dtype=np.float64)
-    idx = np.searchsorted(table_values, v, side="left")
-    idx = np.clip(idx, 1, len(table_values) - 1)
-    left = table_values[idx - 1]
-    right = table_values[idx]
-    dist_left = v - left
-    dist_right = right - v
-    pick_right = dist_right < dist_left
-    tie = dist_right == dist_left
-    # On a tie pick the neighbor whose pattern is even.
-    right_even = (table_patterns[idx] & 1) == 0
-    choose = pick_right | (tie & right_even)
-    out_idx = np.where(choose, idx, idx - 1)
-    # Saturate exact out-of-range values.
-    out_idx = np.where(v <= table_values[0], 0, out_idx)
-    out_idx = np.where(v >= table_values[-1], len(table_values) - 1, out_idx)
-    return table_patterns[out_idx].astype(np.uint32)
-
-
-@lru_cache(maxsize=32)
-def _posit_boundary_table(fmt: PositFormat):
-    """Sorted posit values, patterns, and pattern-space rounding boundaries.
-
-    The boundary separating "round to pattern p" from "round to p+1" under
-    the paper's Algorithm-2 guard/sticky rounding is exactly the value of
-    the (n+1)-bit, same-es posit whose (signed) pattern is ``2p + 1`` — the
-    classic posit interleaving property.  Representing boundaries this way
-    makes the vectorized quantizer bit-identical to the scalar encoder even
-    across regime-taper boundaries, where value-space "nearest" differs.
-    """
-    wide = standard_format(fmt.n + 1, fmt.es)
-    signed = np.arange(-(1 << (fmt.n - 1)) + 1, 1 << (fmt.n - 1), dtype=np.int64)
-    patterns = (signed % (1 << fmt.n)).astype(np.uint32)
-    values = np.array(
-        [
-            0.0
-            if p == 0
-            else float(posit_decode(fmt, int(p)).to_fraction())
-            for p in patterns
-        ]
-    )
-    mids = (2 * signed[:-1] + 1) % (1 << wide.n)
-    boundaries = np.array(
-        [float(posit_decode(wide, int(m)).to_fraction()) for m in mids]
-    )
-    # A tie exactly on boundaries[i] resolves to whichever of patterns
-    # i / i+1 has the even *magnitude* encoding (Algorithm 2: round = guard
-    # & (lsb | sticky) with sticky == 0 keeps an even-lsb pattern).
-    magnitudes = np.abs(signed)
-    boundary_to_lower = (magnitudes[:-1] % 2) == 0
-    return values, patterns, boundaries, boundary_to_lower
-
-
-def _posit_quantize(fmt: PositFormat, arr: np.ndarray) -> np.ndarray:
-    _values, patterns, boundaries, to_lower = _posit_boundary_table(fmt)
-    flat = arr.ravel()
-    idx = np.searchsorted(boundaries, flat, side="left")
-    hit = np.minimum(idx, len(boundaries) - 1)
-    tie = boundaries[hit] == flat
-    out_idx = idx + np.where(tie & ~to_lower[hit], 1, 0)
-    out_idx = np.clip(out_idx, 0, len(patterns) - 1)
-    result = patterns[out_idx]
-    # Saturation and the never-round-to-zero rule.
-    maxpos = float(fmt.maxpos)
-    minpos = float(fmt.minpos)
-    result = np.where(flat >= maxpos, np.uint32(fmt.maxpos_pattern), result)
-    neg_max = ((1 << fmt.n) - fmt.maxpos_pattern) & fmt.mask
-    result = np.where(flat <= -maxpos, np.uint32(neg_max), result)
-    tiny_pos = (flat > 0) & (flat < minpos)
-    tiny_neg = (flat < 0) & (flat > -minpos)
-    neg_min = ((1 << fmt.n) - fmt.minpos_pattern) & fmt.mask
-    result = np.where(tiny_pos, np.uint32(fmt.minpos_pattern), result)
-    result = np.where(tiny_neg, np.uint32(neg_min), result)
-    result = np.where(flat == 0.0, np.uint32(fmt.zero_pattern), result)
-    return result.astype(np.uint32).reshape(arr.shape)
-
-
 def quantize_nearest(fmt, values: np.ndarray) -> np.ndarray:
     """Quantize a float array to ``fmt`` patterns, vectorized.
 
-    Bit-identical to the scalar encoders: floats use IEEE-style RNE, posits
-    use the paper's Algorithm-2 pattern-space rounding (see
-    :func:`_posit_boundary_table`), fixed point uses RNE on the raw grid.
+    Bit-identical to the scalar encoders of every registered format family
+    (floats use IEEE-style RNE, posits the paper's Algorithm-2 pattern-space
+    rounding, fixed point RNE on the raw grid).
     """
     arr = np.asarray(values, dtype=np.float64)
     if not np.all(np.isfinite(arr)):
         raise ValueError("cannot quantize non-finite values")
-    if isinstance(fmt, FixedFormat):
-        return fx.quantize_array(fmt, arr)
-    if isinstance(fmt, PositFormat):
-        return _posit_quantize(fmt, arr)
-    if isinstance(fmt, FloatFormat):
-        t = ft.tables_for(fmt)
-        real = ~t.is_reserved
-        patterns = np.nonzero(real)[0].astype(np.uint32)
-        vals = t.float_value[real]
-        # Collapse -0/+0 duplicates deterministically: stable sort keeps +0
-        # (pattern 0) before -0, and ties prefer the even (all-zero) pattern.
-        order = np.argsort(vals, kind="stable")
-        return _table_quantize(arr, vals[order], patterns[order]).reshape(arr.shape)
-    raise TypeError(f"no quantizer for {type(fmt).__name__}")
+    return formats.backend_for(fmt).quantize_batch(arr)
 
 
 def quantization_mse(fmt, values: np.ndarray) -> float:
     """Mean squared error introduced by quantizing ``values`` to ``fmt``."""
+    backend = formats.backend_for(fmt)
     arr = np.asarray(values, dtype=np.float64)
-    patterns = quantize_nearest(fmt, arr)
-    if isinstance(fmt, FixedFormat):
-        back = fx.dequantize_array(fmt, patterns)
-    elif isinstance(fmt, PositFormat):
-        back = pt.dequantize_array(fmt, patterns)
-    else:
-        back = ft.dequantize_array(fmt, patterns)
+    back = backend.decode_batch(backend.quantize_batch(arr))
     return float(np.mean((arr - back) ** 2))
 
 
@@ -204,17 +102,17 @@ def candidate_configs(
 
     The paper reports best posit results at ``es in {0, 2}`` and best float
     results at ``we in {3, 4}``; the default candidate sets cover those.
+    Families beyond the built-in three come straight from the registry's
+    ``sweep_candidates`` hooks.
     """
+    knobs = {"posit": (es_values,), "float": (we_values,), "fixed": (q_values,)}
     configs: list[FormatConfig] = []
-    for es in es_values:
-        if n - 3 - es >= 0:
-            configs.append(FormatConfig("posit", standard_format(n, es)))
-    for we in we_values:
-        wf = n - 1 - we
-        if wf >= 1 and we >= 2:
-            configs.append(FormatConfig("float", float_format(we, wf)))
-    qs = q_values if q_values is not None else tuple(range(0, n))
-    for q in qs:
-        if 0 <= q <= n - 1:
-            configs.append(FormatConfig("fixed", fixed_format(n, q)))
+    for family in formats.families():
+        if family.sweep_candidates is None:
+            continue
+        args = knobs.get(family.name, ())
+        configs.extend(
+            FormatConfig(family.name, fmt)
+            for fmt in family.sweep_candidates(n, *args)
+        )
     return configs

@@ -19,7 +19,6 @@ import numpy as np
 
 from .decode import decode
 from .format import PositFormat
-from .value import Posit
 
 __all__ = ["PositTables", "tables_for", "MAX_TABLE_BITS"]
 
@@ -131,26 +130,63 @@ def tables_for(fmt: PositFormat) -> PositTables:
     return _build(fmt)
 
 
-def quantize_array(fmt: PositFormat, values: np.ndarray) -> np.ndarray:
-    """Round a float array to posit patterns (uint32), elementwise.
+@lru_cache(maxsize=32)
+def _boundary_table(fmt: PositFormat):
+    """Patterns in value order plus their pattern-space rounding boundaries.
 
-    Non-finite inputs raise; sanitize upstream.  This is the reference
-    quantizer used to convert trained float32 parameters into Deep Positron
-    weight memories.
+    The boundary separating "round to pattern p" from "round to p+1" under
+    the paper's Algorithm-2 guard/sticky rounding is exactly the value of
+    the (n+1)-bit, same-es posit whose (signed) pattern is ``2p + 1`` — the
+    classic posit interleaving property.  Representing boundaries this way
+    makes the vectorized quantizer bit-identical to the scalar encoder even
+    across regime-taper boundaries, where value-space "nearest" differs.
     """
-    flat = np.asarray(values, dtype=np.float64).ravel()
+    from .format import standard_format
+
+    wide = standard_format(fmt.n + 1, fmt.es)
+    signed = np.arange(-(1 << (fmt.n - 1)) + 1, 1 << (fmt.n - 1), dtype=np.int64)
+    patterns = (signed % (1 << fmt.n)).astype(np.uint32)
+    mids = (2 * signed[:-1] + 1) % (1 << wide.n)
+    boundaries = np.array(
+        [float(decode(wide, int(m)).to_fraction()) for m in mids]
+    )
+    # A tie exactly on boundaries[i] resolves to whichever of patterns
+    # i / i+1 has the even *magnitude* encoding (Algorithm 2: round = guard
+    # & (lsb | sticky) with sticky == 0 keeps an even-lsb pattern).
+    boundary_to_lower = (np.abs(signed[:-1]) % 2) == 0
+    return patterns, boundaries, boundary_to_lower
+
+
+def quantize_array(fmt: PositFormat, values: np.ndarray) -> np.ndarray:
+    """Round a float array to posit patterns (uint32), vectorized.
+
+    Bit-identical to the scalar RNE encoder (Algorithm 2's pattern-space
+    rounding, via :func:`_boundary_table`).  Non-finite inputs raise;
+    sanitize upstream.  This is the reference quantizer used to convert
+    trained float32 parameters into Deep Positron weight memories.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    flat = arr.ravel()
     if not np.all(np.isfinite(flat)):
         raise ValueError("cannot quantize non-finite values to posit")
-    out = np.empty(flat.shape, dtype=np.uint32)
-    cache: dict[float, int] = {}
-    for i, v in enumerate(flat):
-        key = float(v)
-        bits = cache.get(key)
-        if bits is None:
-            bits = Posit.from_value(fmt, key).bits
-            cache[key] = bits
-        out[i] = bits
-    return out.reshape(np.asarray(values).shape)
+    patterns, boundaries, to_lower = _boundary_table(fmt)
+    idx = np.searchsorted(boundaries, flat, side="left")
+    hit = np.minimum(idx, len(boundaries) - 1)
+    tie = boundaries[hit] == flat
+    out_idx = idx + np.where(tie & ~to_lower[hit], 1, 0)
+    out_idx = np.clip(out_idx, 0, len(patterns) - 1)
+    result = patterns[out_idx]
+    # Saturation and the never-round-to-zero rule.
+    maxpos = float(fmt.maxpos)
+    minpos = float(fmt.minpos)
+    neg_max = ((1 << fmt.n) - fmt.maxpos_pattern) & fmt.mask
+    neg_min = ((1 << fmt.n) - fmt.minpos_pattern) & fmt.mask
+    result = np.where(flat >= maxpos, np.uint32(fmt.maxpos_pattern), result)
+    result = np.where(flat <= -maxpos, np.uint32(neg_max), result)
+    result = np.where((flat > 0) & (flat < minpos), np.uint32(fmt.minpos_pattern), result)
+    result = np.where((flat < 0) & (flat > -minpos), np.uint32(neg_min), result)
+    result = np.where(flat == 0.0, np.uint32(fmt.zero_pattern), result)
+    return result.astype(np.uint32).reshape(arr.shape)
 
 
 def dequantize_array(fmt: PositFormat, patterns: np.ndarray) -> np.ndarray:
