@@ -1,0 +1,80 @@
+"""Sweep-runner wall clock: serial vs process-parallel, cold artifact store.
+
+Each round gets a fresh ``REPRO_CACHE_DIR`` and a cleared in-process model
+cache, so the measurement covers the full pipeline — training the parent
+models, sweeping every candidate config, persisting the artifacts.  CI
+records the serial-vs-parallel comparison to ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+from repro.analysis.runner import run_sweeps
+from repro.analysis.sweep import trained_model
+
+DATASETS = ("iris", "wbc", "mushroom")
+WIDTHS = (5, 8)
+_round = itertools.count()
+
+
+@pytest.fixture
+def cold_store(tmp_path):
+    """A per-round setup hook handing the runner a brand-new store."""
+    saved = os.environ.get("REPRO_CACHE_DIR")
+
+    def setup():
+        root = tmp_path / f"round{next(_round)}"
+        os.environ["REPRO_CACHE_DIR"] = str(root)
+        trained_model.cache_clear()
+        return (), {}
+
+    yield setup
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
+    trained_model.cache_clear()
+
+
+def _check(results):
+    assert len(results) == len(DATASETS) * len(WIDTHS)
+    for sweep in results.values():
+        assert 0.0 <= sweep["float32_accuracy"] <= 1.0
+        assert sweep["best"]["posit"] is not None
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_runner_serial(benchmark, cold_store):
+    results = benchmark.pedantic(
+        lambda: run_sweeps(DATASETS, WIDTHS, jobs=1),
+        setup=cold_store,
+        rounds=3,
+        iterations=1,
+    )
+    _check(results)
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_sweep_runner_parallel4(benchmark, cold_store):
+    results = benchmark.pedantic(
+        lambda: run_sweeps(DATASETS, WIDTHS, jobs=4),
+        setup=cold_store,
+        rounds=3,
+        iterations=1,
+    )
+    _check(results)
+
+
+@pytest.mark.benchmark(group="sweep-runner")
+def test_parallel_matches_serial(cold_store):
+    """The timing comparison is only honest if the outputs are identical."""
+    setup = cold_store
+    setup()
+    serial = run_sweeps(DATASETS, WIDTHS, jobs=1)
+    setup()
+    parallel = run_sweeps(DATASETS, WIDTHS, jobs=4)
+    assert parallel == serial

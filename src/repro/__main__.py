@@ -18,6 +18,15 @@ lists them); any registered family works end to end::
     python -m repro synth wbc posit8_1     # synthesis at a named format
     python -m repro sweep iris 8           # full width-8 sweep, one dataset
     python -m repro sweep iris float4_3    # one named config, one dataset
+
+The parallel, resumable runner fans full sweep grids out over worker
+processes, sharing trained models and per-task results through the
+content-addressed artifact cache (interrupt it; rerunning resumes)::
+
+    python -m repro run table2 --jobs 4    # Table II, 4 worker processes
+    python -m repro run fig9 --jobs 4      # Fig. 9, all widths
+    python -m repro run sweep --jobs 4 --datasets iris,wbc --widths 5,8
+    python -m repro run table2 --no-cache  # bypass the artifact cache
 """
 
 from __future__ import annotations
@@ -159,6 +168,82 @@ def _sweep(dataset: str, spec: str) -> str:
     )
 
 
+def _run(args: list[str]) -> str:
+    import argparse
+    import os
+
+    from .analysis import (
+        DEFAULT_DATASETS,
+        DEFAULT_WIDTHS,
+        render_figure9,
+        render_table2,
+        run_fig9,
+        run_sweeps,
+        run_table2,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Parallel, resumable experiment runner.",
+    )
+    parser.add_argument("target", choices=("table2", "fig9", "sweep"))
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (0 = all cores; 1 = serial, the default)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the artifact cache (implies full recompute, no resume)",
+    )
+    parser.add_argument(
+        "--datasets", default=None,
+        help=f"comma-separated subset of {','.join(DEFAULT_DATASETS)}",
+    )
+    parser.add_argument(
+        "--widths", default=None,
+        help="comma-separated bit widths (run sweep/fig9 only; default 5-8)",
+    )
+    ns = parser.parse_args(args)
+
+    if ns.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    jobs = ns.jobs if ns.jobs > 0 else (os.cpu_count() or 1)
+    datasets = (
+        tuple(ns.datasets.split(",")) if ns.datasets else DEFAULT_DATASETS
+    )
+    widths = (
+        tuple(int(w) for w in ns.widths.split(","))
+        if ns.widths
+        else DEFAULT_WIDTHS
+    )
+
+    def progress(message: str) -> None:
+        print(f"run[{ns.target}] {message}", file=sys.stderr, flush=True)
+
+    if ns.target == "table2":
+        return render_table2(
+            run_table2(datasets, jobs=jobs, progress=progress)
+        )
+    if ns.target == "fig9":
+        return render_figure9(
+            run_fig9(widths, datasets, jobs=jobs, progress=progress)
+        )
+    sweeps = run_sweeps(datasets, widths, jobs=jobs, progress=progress)
+    lines = []
+    for task, sweep in sweeps.items():
+        lines.append(
+            f"[{task.dataset}, n={task.width}] float32 baseline "
+            f"{sweep['float32_accuracy']:.4f}"
+        )
+        for family, best in sweep["best"].items():
+            if best is not None:
+                lines.append(
+                    f"  best {family:<6} {best['label']:<16} "
+                    f"{best['accuracy']:.4f}"
+                )
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "table1": _table1,
     "fig2": _fig2,
@@ -183,6 +268,13 @@ def main(argv: list[str] | None = None) -> int:
         format_name = args[2] if len(args) > 2 else "posit8_1"
         try:
             print(_synth(dataset, format_name))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if command == "run":
+        try:
+            print(_run(args[1:]))
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2

@@ -1,6 +1,16 @@
 """Experiment drivers reproducing every table and figure of the paper."""
 
-from .cache import cache_dir, cached_json, clear_cache
+from .cache import cache_dir, cache_enabled, cached_json, clear_cache
+from .store import ArtifactStore, artifact_store, content_key, store_enabled
+from .runner import (
+    DEFAULT_DATASETS,
+    DEFAULT_WIDTHS,
+    SweepTask,
+    plan_tasks,
+    run_fig9,
+    run_sweeps,
+    run_table2,
+)
 from .histograms import (
     Histogram,
     in_unit_fraction,
@@ -12,8 +22,11 @@ from .sweep import (
     ExperimentSpec,
     TrainedModel,
     evaluate_config,
+    evaluate_configs_batch,
     evaluate_named_format,
     figure9_series,
+    model_key,
+    sweep_task_key,
     sweep_width,
     table2_rows,
     trained_model,
@@ -39,8 +52,23 @@ from .sensitivity import (
 
 __all__ = [
     "cache_dir",
+    "cache_enabled",
     "cached_json",
     "clear_cache",
+    "ArtifactStore",
+    "artifact_store",
+    "content_key",
+    "store_enabled",
+    "SweepTask",
+    "DEFAULT_DATASETS",
+    "DEFAULT_WIDTHS",
+    "plan_tasks",
+    "run_sweeps",
+    "run_table2",
+    "run_fig9",
+    "model_key",
+    "sweep_task_key",
+    "evaluate_configs_batch",
     "Histogram",
     "posit_value_histogram",
     "weight_histogram",

@@ -4,20 +4,41 @@ Training the parent models and running exact-inference sweeps takes tens of
 seconds; tests, benchmarks, and examples all share the results through this
 module.  The on-disk layer is a JSON file per experiment under
 ``.repro_cache/`` in the working directory (delete the directory, or set
-``REPRO_NO_CACHE=1``, to force recomputation).
+``REPRO_NO_CACHE=1``, to force recomputation; point ``REPRO_CACHE_DIR``
+somewhere else to relocate it).
+
+All writes are atomic: content goes to a per-writer unique temp file in the
+destination directory, then a ``rename`` publishes it.  Concurrent writers
+(e.g. parallel sweep workers racing on the same artifact) each hold their
+own temp file, so the worst case is a duplicated write, never a torn file
+or a vanished temp.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import uuid
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["cache_dir", "cached_json", "clear_cache"]
+__all__ = [
+    "cache_dir",
+    "cache_enabled",
+    "cached_json",
+    "clear_cache",
+    "atomic_write_json",
+    "unique_tmp",
+]
 
 _ENV_DISABLE = "REPRO_NO_CACHE"
 _DIRNAME = ".repro_cache"
+
+
+def cache_enabled() -> bool:
+    """Whether on-disk caching is active (``REPRO_NO_CACHE`` unset)."""
+    return not os.environ.get(_ENV_DISABLE)
 
 
 def cache_dir() -> Path:
@@ -27,13 +48,35 @@ def cache_dir() -> Path:
     return root
 
 
+def unique_tmp(path: Path) -> Path:
+    """A temp-file path unique to this writer, in ``path``'s directory.
+
+    Same filesystem as the destination, so ``Path.replace`` stays atomic;
+    unique per (pid, uuid), so concurrent writers never share a temp file —
+    a fixed ``.tmp`` suffix would let one writer rename the file out from
+    under another mid-write.
+    """
+    return path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+
+
+def atomic_write_json(path: Path, value: Any) -> None:
+    """Atomically publish ``value`` as JSON at ``path`` (race-safe)."""
+    tmp = unique_tmp(path)
+    try:
+        with tmp.open("w") as handle:
+            json.dump(value, handle)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def cached_json(name: str, compute: Callable[[], Any]) -> Any:
     """Return the cached JSON value for ``name`` or compute and store it.
 
     Values must be JSON-serializable.  Caching is skipped entirely when the
     ``REPRO_NO_CACHE`` environment variable is set.
     """
-    if os.environ.get(_ENV_DISABLE):
+    if not cache_enabled():
         return compute()
     path = cache_dir() / f"{name}.json"
     if path.exists():
@@ -43,15 +86,15 @@ def cached_json(name: str, compute: Callable[[], Any]) -> Any:
         except (json.JSONDecodeError, OSError):
             path.unlink(missing_ok=True)
     value = compute()
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("w") as handle:
-        json.dump(value, handle)
-    tmp.replace(path)
+    atomic_write_json(path, value)
     return value
 
 
 def clear_cache() -> None:
-    """Delete all cached experiment results."""
+    """Delete all cached experiment results (flat JSONs and the store)."""
     root = cache_dir()
     for path in root.glob("*.json"):
         path.unlink()
+    store = root / "store"
+    if store.is_dir():
+        shutil.rmtree(store, ignore_errors=True)

@@ -1,0 +1,195 @@
+"""Process-parallel, resumable executor for the Table II / Fig. 9 sweeps.
+
+The paper's headline artifacts are full sweeps over dataset × width ×
+format-config.  :func:`run_sweeps` fans the (dataset, width) task grid out
+over a ``ProcessPoolExecutor``; each task evaluates all candidate configs
+of its width batched through one engine pass per config
+(:func:`~repro.analysis.sweep.evaluate_configs_batch`) and persists its
+result individually in the content-addressed artifact store.  Two
+consequences:
+
+* **Resumability** — an interrupted run leaves every finished task's
+  artifact behind; the next invocation loads those and only submits the
+  missing tasks.  Parent models are likewise store-backed, so resumed (or
+  racing) workers *load* trained parameters instead of retraining.
+* **Bit-identity** — workers execute exactly the serial
+  :func:`~repro.analysis.sweep.sweep_width` code path on bit-identically
+  reloaded models, so ``jobs=N`` output equals the serial output bit for
+  bit (property-tested).
+
+With ``REPRO_NO_CACHE=1`` the store is bypassed: workers return results
+over the pipe only, and each worker trains its own parent model.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .store import artifact_store, store_enabled
+from .sweep import (
+    EXPERIMENTS,
+    _table2_row,
+    figure9_series,
+    model_key,
+    sweep_task_key,
+    sweep_width,
+    trained_model,
+)
+
+__all__ = [
+    "SweepTask",
+    "DEFAULT_DATASETS",
+    "DEFAULT_WIDTHS",
+    "plan_tasks",
+    "run_sweeps",
+    "run_table2",
+    "run_fig9",
+]
+
+DEFAULT_DATASETS: tuple[str, ...] = ("wbc", "iris", "mushroom")
+DEFAULT_WIDTHS: tuple[int, ...] = (5, 6, 7, 8)
+
+#: Progress callback: called with one human-readable line per event.
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of the fan-out: a full-width sweep on one dataset."""
+
+    dataset: str
+    width: int
+
+
+def plan_tasks(
+    datasets: Sequence[str], widths: Sequence[int]
+) -> list[SweepTask]:
+    """The task grid, in deterministic (dataset-major) order."""
+    for name in datasets:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown dataset '{name}'")
+    for n in widths:
+        if not 2 <= int(n) <= 32:
+            raise ValueError(f"unsupported sweep width {n}")
+    return [SweepTask(d, int(n)) for d in datasets for n in widths]
+
+
+# -- worker entry points (module level: picklable under any start method) --
+def _train_worker(dataset: str) -> str:
+    """Train (and store) one parent model; returns the dataset name."""
+    trained_model(dataset)
+    return dataset
+
+
+def _sweep_worker(task: SweepTask) -> tuple[SweepTask, dict]:
+    """Run one sweep task; the result is also persisted to the store."""
+    return task, sweep_width(task.dataset, task.width)
+
+
+def _noop(_: str) -> None:
+    return None
+
+
+def run_sweeps(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    jobs: int = 1,
+    progress: Progress | None = None,
+) -> dict[SweepTask, dict]:
+    """Execute the sweep grid, parallel over tasks, resuming from the store.
+
+    Returns ``{task: sweep_result}`` for every task in the grid, in plan
+    order.  ``jobs <= 1`` runs serially in-process (the reference path);
+    ``jobs > 1`` fans pending tasks out over worker processes after a
+    pre-training phase that guarantees each parent model is trained exactly
+    once and then *loaded* by every task that needs it.
+    """
+    progress = progress or _noop
+    tasks = plan_tasks(datasets, widths)
+    total = len(tasks)
+    results: dict[SweepTask, dict] = {}
+
+    if jobs <= 1:
+        for i, task in enumerate(tasks, 1):
+            results[task] = sweep_width(task.dataset, task.width)
+            progress(f"[{i}/{total}] {task.dataset} n={task.width} done")
+        return results
+
+    pending: list[SweepTask] = []
+    if store_enabled():
+        store = artifact_store()
+        for task in tasks:
+            cached = store.load_result(sweep_task_key(task.dataset, task.width))
+            if cached is not None:
+                results[task] = cached
+                progress(
+                    f"[{len(results)}/{total}] {task.dataset} "
+                    f"n={task.width} cached"
+                )
+            else:
+                pending.append(task)
+    else:
+        pending = list(tasks)
+
+    if pending:
+        workers = min(jobs, len(pending))
+        # Phase 1: make sure every parent model a pending task needs exists
+        # in the store, training missing ones in parallel (one task per
+        # dataset) so phase-2 workers never race to retrain the same model.
+        if store_enabled():
+            missing = []
+            for name in dict.fromkeys(t.dataset for t in pending):
+                if not store.has_model(model_key(EXPERIMENTS[name])):
+                    missing.append(name)
+            if missing:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(missing))
+                ) as pool:
+                    for name in pool.map(_train_worker, missing):
+                        progress(f"trained parent model: {name}")
+
+        # Phase 2: fan the pending sweep tasks out.
+        done_count = len(results)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_sweep_worker, task): task for task in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    task, value = future.result()
+                    results[task] = value
+                    done_count += 1
+                    progress(
+                        f"[{done_count}/{total}] {task.dataset} "
+                        f"n={task.width} done"
+                    )
+
+    return {task: results[task] for task in tasks}
+
+
+def run_table2(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    jobs: int = 1,
+    progress: Progress | None = None,
+) -> list[dict]:
+    """Table II rows via the parallel runner (bit-identical to serial)."""
+    sweeps = run_sweeps(datasets, (8,), jobs=jobs, progress=progress)
+    return [_table2_row(sweeps[SweepTask(name, 8)]) for name in datasets]
+
+
+def run_fig9(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    jobs: int = 1,
+    progress: Progress | None = None,
+) -> dict[str, list[dict]]:
+    """Fig. 9 series via the parallel runner (bit-identical to serial)."""
+    sweeps = run_sweeps(datasets, widths, jobs=jobs, progress=progress)
+    lookup = {(t.dataset, t.width): v for t, v in sweeps.items()}
+    return figure9_series(tuple(widths), tuple(datasets), sweeps=lookup)

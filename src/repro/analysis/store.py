@@ -1,0 +1,164 @@
+"""Content-addressed artifact store for models and per-task sweep results.
+
+This replaces name-keyed JSON caching for the experiment pipeline: every
+artifact is stored under a key derived from the *content of its inputs* —
+the full :class:`~repro.analysis.sweep.ExperimentSpec` (topology plus every
+training hyperparameter) for trained parent models, and additionally the
+sweep width and candidate-config list for sweep results.  Change a seed, a
+learning rate, or the candidate set and the key changes with it, so stale
+artifacts are never picked up; they are simply unreferenced files.
+
+Layout (under :func:`repro.analysis.cache.cache_dir`)::
+
+    .repro_cache/store/models/<key>.npz    trained parent model parameters
+    .repro_cache/store/results/<key>.json  one sweep task's result
+
+Both tiers are written atomically via per-writer unique temp files, so
+parallel sweep workers can race on the same artifact safely (worst case: a
+duplicated identical write).  Corrupt files are deleted and recomputed.
+``REPRO_NO_CACHE=1`` bypasses the store entirely; ``REPRO_CACHE_DIR``
+relocates it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .cache import atomic_write_json, cache_dir, cache_enabled, unique_tmp
+
+__all__ = ["content_key", "ArtifactStore", "artifact_store", "store_enabled"]
+
+#: Bump when the serialized artifact layout changes incompatibly; it is
+#: hashed into every key, so old artifacts are orphaned, not misread.
+SCHEMA_VERSION = 1
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-stable view of ``obj`` for hashing (dataclasses included)."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        fields = {k: _canonical(v) for k, v in asdict(obj).items()}
+        return {"__type__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def content_key(payload: Any) -> str:
+    """Hex digest keying an artifact by the content of its inputs."""
+    blob = json.dumps(
+        {"schema": SCHEMA_VERSION, "payload": _canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ArtifactStore:
+    """Two-tier content-addressed store: ``.npz`` arrays and JSON results."""
+
+    def __init__(self, root: Path | None = None):
+        self.root = Path(root) if root is not None else cache_dir() / "store"
+
+    # -- array artifacts (trained models) ------------------------------
+    @property
+    def models_dir(self) -> Path:
+        return self.root / "models"
+
+    def model_path(self, key: str) -> Path:
+        return self.models_dir / f"{key}.npz"
+
+    def has_model(self, key: str) -> bool:
+        return self.model_path(key).exists()
+
+    def save_model(self, key: str, arrays: dict[str, np.ndarray],
+                   meta: dict[str, Any]) -> Path:
+        """Atomically store a model's arrays plus a JSON metadata sidecar."""
+        self.models_dir.mkdir(parents=True, exist_ok=True)
+        path = self.model_path(key)
+        tmp = unique_tmp(path)
+        try:
+            with tmp.open("wb") as handle:
+                np.savez(
+                    handle,
+                    __meta__=np.frombuffer(
+                        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                    ),
+                    **arrays,
+                )
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def load_model(self, key: str) -> tuple[dict[str, np.ndarray], dict] | None:
+        """(arrays, meta) for ``key``, or ``None`` (missing/corrupt).
+
+        A corrupt artifact (truncated write, bad zip, missing members) is
+        deleted so the caller recomputes and heals the store.
+        """
+        path = self.model_path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                arrays = {k: data[k] for k in data.files if k != "__meta__"}
+                meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+            return arrays, meta
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    # -- JSON artifacts (per-task sweep results) -----------------------
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def result_path(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    def has_result(self, key: str) -> bool:
+        return self.result_path(key).exists()
+
+    def save_result(self, key: str, value: Any) -> Path:
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(key)
+        atomic_write_json(path, value)
+        return path
+
+    def load_result(self, key: str) -> Any | None:
+        """The stored JSON value, or ``None`` (missing or corrupt)."""
+        path = self.result_path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            path.unlink(missing_ok=True)
+            return None
+
+
+def artifact_store() -> ArtifactStore:
+    """The store under the current cache directory (env-sensitive).
+
+    Constructed per call so ``REPRO_CACHE_DIR`` changes (tests, parallel
+    workers inheriting the parent environment) take effect immediately.
+    """
+    return ArtifactStore()
+
+
+def store_enabled() -> bool:
+    """Whether artifacts should be persisted (``REPRO_NO_CACHE`` unset)."""
+    return cache_enabled()

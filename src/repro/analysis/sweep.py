@@ -6,8 +6,13 @@ three formats *without retraining*; report the best accuracy per format per
 width.  The 32-bit float baseline is the parent model itself evaluated in
 float32.
 
-Trained models are cached in-process; sweep results are cached on disk via
-:mod:`repro.analysis.cache`.
+Trained models are cached in-process *and* serialized to the
+content-addressed artifact store (:mod:`repro.analysis.store`), keyed by a
+hash of the full :class:`ExperimentSpec` — parallel sweep workers load the
+parent parameters instead of retraining, bit-identically.  Sweep results
+are persisted per (dataset, width) task under a key that also covers the
+candidate-config list, so any change to the spec or the format registry
+invalidates exactly the affected artifacts.
 """
 
 from __future__ import annotations
@@ -26,14 +31,17 @@ from ..nn.metrics import degradation
 from ..nn.model import MLP
 from ..nn.quantize import FormatConfig, candidate_configs
 from ..nn.train import TrainConfig, train_classifier
-from .cache import cached_json
+from .store import artifact_store, content_key, store_enabled
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "TrainedModel",
+    "model_key",
+    "sweep_task_key",
     "trained_model",
     "evaluate_config",
+    "evaluate_configs_batch",
     "evaluate_named_format",
     "sweep_width",
     "table2_rows",
@@ -104,15 +112,32 @@ class TrainedModel:
     float32_accuracy: float
 
 
-@lru_cache(maxsize=None)
-def trained_model(dataset_name: str) -> TrainedModel:
-    """Train (once per process) the parent model for a dataset."""
+def model_key(spec: ExperimentSpec) -> str:
+    """Content key of a trained parent model: the full experiment spec."""
+    return content_key({"kind": "model", "spec": spec})
+
+
+def sweep_task_key(dataset_name: str, n: int) -> str:
+    """Content key of one (dataset, width) sweep task.
+
+    Covers the model key (spec + hyperparameters) *and* the candidate
+    configuration labels, so registering a new format family — or changing
+    a knob set — invalidates exactly the sweeps it affects.
+    """
     if dataset_name not in EXPERIMENTS:
         raise KeyError(f"unknown dataset '{dataset_name}'")
-    spec = EXPERIMENTS[dataset_name]
-    dataset = _LOADERS[dataset_name]()
-    if dataset.num_features != spec.topology[0]:
-        raise AssertionError("topology/feature mismatch")
+    labels = [config.label for config in candidate_configs(n)]
+    return content_key(
+        {
+            "kind": "sweep",
+            "model": model_key(EXPERIMENTS[dataset_name]),
+            "n": n,
+            "configs": labels,
+        }
+    )
+
+
+def _train_parent(spec: ExperimentSpec, dataset: Dataset) -> tuple[MLP, float]:
     rng = np.random.default_rng(spec.train.seed)
     model = MLP(spec.topology, rng)
     train_classifier(
@@ -126,14 +151,71 @@ def trained_model(dataset_name: str) -> TrainedModel:
     # The paper's baseline is 32-bit float; round parameters through float32.
     model.cast_float32()
     baseline = model.accuracy(dataset.test_x, dataset.test_y)
+    return model, baseline
+
+
+@lru_cache(maxsize=None)
+def trained_model(dataset_name: str) -> TrainedModel:
+    """The parent model for a dataset: store-loaded, or trained and stored.
+
+    In-process the result is memoized; across processes the parameters are
+    shared through the artifact store, so a sweep worker whose sibling (or a
+    previous, interrupted run) already trained the model loads the exact
+    float64 parameters instead of retraining — bit-identical by the
+    :meth:`~repro.nn.model.MLP.export_arrays` round-trip guarantee.
+    """
+    if dataset_name not in EXPERIMENTS:
+        raise KeyError(f"unknown dataset '{dataset_name}'")
+    spec = EXPERIMENTS[dataset_name]
+    dataset = _LOADERS[dataset_name]()
+    if dataset.num_features != spec.topology[0]:
+        raise AssertionError("topology/feature mismatch")
+    if store_enabled():
+        store = artifact_store()
+        key = model_key(spec)
+        cached = store.load_model(key)
+        if cached is not None:
+            arrays, meta = cached
+            model = MLP.from_arrays(arrays)
+            if model.topology == spec.topology:
+                return TrainedModel(
+                    spec, dataset, model, float(meta["float32_accuracy"])
+                )
+    model, baseline = _train_parent(spec, dataset)
+    if store_enabled():
+        artifact_store().save_model(
+            model_key(spec),
+            model.export_arrays(),
+            {"dataset": spec.name, "float32_accuracy": baseline},
+        )
     return TrainedModel(spec, dataset, model, baseline)
 
 
 def evaluate_config(tm: TrainedModel, config: FormatConfig) -> float:
     """Deploy the parent model at one low-precision config; test accuracy."""
+    return evaluate_configs_batch(tm, [config])[0]
+
+
+def evaluate_configs_batch(
+    tm: TrainedModel, configs: list[FormatConfig] | tuple[FormatConfig, ...]
+) -> list[float]:
+    """Accuracies of many configs, batched: one engine pass per config.
+
+    The parent parameters are exported once and each config's quantized
+    network is reused across the full test set in a single vectorized
+    engine pass — the per-config work is exactly one quantization plus one
+    batched exact forward, bit-identical to evaluating configs one at a
+    time.
+    """
     weights, biases = tm.model.export_params()
-    network = PositronNetwork.from_float_params(config.fmt, weights, biases)
-    return network.accuracy(tm.dataset.test_x, tm.dataset.test_y)
+    test_x = np.asarray(tm.dataset.test_x, dtype=np.float64)
+    labels = np.asarray(tm.dataset.test_y)
+    accuracies = []
+    for config in configs:
+        network = PositronNetwork.from_float_params(config.fmt, weights, biases)
+        predictions = network.predict(test_x)
+        accuracies.append(float(np.mean(predictions == labels)))
+    return accuracies
 
 
 def evaluate_named_format(dataset_name: str, format_name: str) -> dict:
@@ -156,12 +238,12 @@ def evaluate_named_format(dataset_name: str, format_name: str) -> dict:
 
 def _sweep_width_uncached(dataset_name: str, n: int) -> dict:
     tm = trained_model(dataset_name)
-    results = []
-    for config in candidate_configs(n):
-        acc = evaluate_config(tm, config)
-        results.append(
-            {"family": config.family, "label": config.label, "accuracy": acc}
-        )
+    configs = candidate_configs(n)
+    accuracies = evaluate_configs_batch(tm, configs)
+    results = [
+        {"family": config.family, "label": config.label, "accuracy": acc}
+        for config, acc in zip(configs, accuracies)
+    ]
     best = {}
     for family in (f.name for f in formats.families() if f.sweep_candidates):
         fam = [r for r in results if r["family"] == family]
@@ -177,36 +259,49 @@ def _sweep_width_uncached(dataset_name: str, n: int) -> dict:
 
 
 def sweep_width(dataset_name: str, n: int) -> dict:
-    """All format configs of width ``n`` on one dataset (disk-cached)."""
-    return cached_json(
-        f"sweep_{dataset_name}_n{n}", lambda: _sweep_width_uncached(dataset_name, n)
-    )
+    """All format configs of width ``n`` on one dataset (store-cached).
+
+    The result is persisted individually in the content-addressed store,
+    keyed by spec + width + candidate set — this is the resume granularity
+    of the parallel runner: an interrupted run recomputes only the tasks
+    whose artifacts are missing.
+    """
+    if not store_enabled():
+        return _sweep_width_uncached(dataset_name, n)
+    store = artifact_store()
+    key = sweep_task_key(dataset_name, n)
+    cached = store.load_result(key)
+    if cached is not None:
+        return cached
+    value = _sweep_width_uncached(dataset_name, n)
+    store.save_result(key, value)
+    return value
+
+
+def _table2_row(sweep: dict) -> dict:
+    """One Table II row assembled from a width-8 sweep result."""
+    return {
+        "dataset": sweep["dataset"],
+        "inference_size": sweep["inference_size"],
+        "posit": sweep["best"]["posit"]["accuracy"],
+        "posit_config": sweep["best"]["posit"]["label"],
+        "float": sweep["best"]["float"]["accuracy"],
+        "float_config": sweep["best"]["float"]["label"],
+        "fixed": sweep["best"]["fixed"]["accuracy"],
+        "fixed_config": sweep["best"]["fixed"]["label"],
+        "float32": sweep["float32_accuracy"],
+    }
 
 
 def table2_rows(datasets: tuple[str, ...] = ("wbc", "iris", "mushroom")) -> list[dict]:
     """Table II: best 8-bit accuracy per format vs the 32-bit float baseline."""
-    rows = []
-    for name in datasets:
-        sweep = sweep_width(name, 8)
-        rows.append(
-            {
-                "dataset": name,
-                "inference_size": sweep["inference_size"],
-                "posit": sweep["best"]["posit"]["accuracy"],
-                "posit_config": sweep["best"]["posit"]["label"],
-                "float": sweep["best"]["float"]["accuracy"],
-                "float_config": sweep["best"]["float"]["label"],
-                "fixed": sweep["best"]["fixed"]["accuracy"],
-                "fixed_config": sweep["best"]["fixed"]["label"],
-                "float32": sweep["float32_accuracy"],
-            }
-        )
-    return rows
+    return [_table2_row(sweep_width(name, 8)) for name in datasets]
 
 
 def figure9_series(
     widths: tuple[int, ...] = (5, 6, 7, 8),
     datasets: tuple[str, ...] = ("wbc", "iris", "mushroom"),
+    sweeps: dict[tuple[str, int], dict] | None = None,
 ) -> dict[str, list[dict]]:
     """Fig. 9: per format family, (avg accuracy degradation, EDP) per width.
 
@@ -214,9 +309,18 @@ def figure9_series(
     config of that family at that width (the paper plots the *lowest*
     degradation per width); EDP comes from the hardware model for the
     best-performing configuration, averaged across datasets.
+
+    ``sweeps`` optionally supplies precomputed per-task results keyed by
+    ``(dataset, n)`` (the parallel runner passes its fan-out output here);
+    missing entries fall back to :func:`sweep_width`.
     """
     def config_from_label(label: str):
         return formats.get(label).fmt
+
+    def get_sweep(name: str, n: int) -> dict:
+        if sweeps is not None and (name, n) in sweeps:
+            return sweeps[(name, n)]
+        return sweep_width(name, n)
 
     series: dict[str, list[dict]] = {"posit": [], "float": [], "fixed": []}
     for n in widths:
@@ -224,7 +328,7 @@ def figure9_series(
             f: [] for f in series
         }
         for name in datasets:
-            sweep = sweep_width(name, n)
+            sweep = get_sweep(name, n)
             for family in series:
                 best = sweep["best"][family]
                 if best is None:

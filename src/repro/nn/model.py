@@ -104,3 +104,45 @@ class MLP:
         for layer in self.dense_layers:
             layer.weight = layer.weight.astype(np.float32).astype(np.float64)
             layer.bias = layer.bias.astype(np.float32).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Flat array mapping of the model (topology + per-layer params).
+
+        The inverse of :meth:`from_arrays`; the round trip is bit-identical
+        (float64 in, float64 out), which the artifact store relies on so a
+        reloaded parent model reproduces the exact sweep accuracies.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "topology": np.asarray(self.topology, dtype=np.int64)
+        }
+        for i, layer in enumerate(self.dense_layers):
+            arrays[f"weight_{i}"] = layer.weight.copy()
+            arrays[f"bias_{i}"] = layer.bias.copy()
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "MLP":
+        """Rebuild a model from :meth:`export_arrays` output, bit-identical."""
+        if "topology" not in arrays:
+            raise ValueError("missing 'topology' entry")
+        topology = tuple(int(t) for t in np.asarray(arrays["topology"]))
+        model = cls(topology, np.random.default_rng(0))
+        count = len(model.dense_layers)
+        try:
+            weights = [arrays[f"weight_{i}"] for i in range(count)]
+            biases = [arrays[f"bias_{i}"] for i in range(count)]
+        except KeyError as exc:
+            raise ValueError(f"missing parameter array {exc.args[0]!r}") from exc
+        model.import_params(weights, biases)
+        return model
+
+    def save_npz(self, path) -> None:
+        """Serialize parameters to an ``.npz`` file (see :meth:`load_npz`)."""
+        np.savez(path, **self.export_arrays())
+
+    @classmethod
+    def load_npz(cls, path) -> "MLP":
+        """Load a model saved by :meth:`save_npz`; round trip is bit-exact."""
+        with np.load(path) as data:
+            return cls.from_arrays({k: data[k] for k in data.files})

@@ -1,5 +1,10 @@
 """Tests for the experiment cache and text renderers."""
 
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -53,6 +58,71 @@ class TestCache:
         cached_json("a", lambda: 1)
         clear_cache()
         assert not list(tmp_path.glob("*.json"))
+
+
+def _hammer_atomic_writes(path_str: str, writer: int, iterations: int) -> None:
+    """Worker: repeatedly publish one JSON artifact at a shared path."""
+    from repro.analysis.cache import atomic_write_json
+
+    payload = {"writer": writer, "blob": list(range(256))}
+    for _ in range(iterations):
+        atomic_write_json(Path(path_str), payload)
+
+
+def _racing_cached_json(cache_dir: str, writer: int) -> None:
+    """Worker: compute-and-store through ``cached_json`` on a cold cache."""
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    from repro.analysis.cache import cached_json
+
+    value = cached_json("shared", lambda: {"writer": writer, "ok": True})
+    assert value["ok"] is True
+
+
+class TestConcurrentWriters:
+    """Regression for the fixed-name ``.tmp`` race: concurrent writers used
+    to share one temp file, so one writer's ``replace`` could yank the file
+    out from under another mid-write (FileNotFoundError / torn JSON)."""
+
+    def test_two_concurrent_writers_same_artifact(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_atomic_writes, args=(str(path), i, 200)
+            )
+            for i in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        value = json.loads(path.read_text())  # never torn: one full payload
+        assert value["writer"] in (0, 1)
+        assert value["blob"] == list(range(256))
+        assert not list(tmp_path.glob("*.tmp"))  # no temp litter either
+
+    def test_concurrent_cold_cached_json(self, tmp_path):
+        procs = [
+            multiprocessing.Process(
+                target=_racing_cached_json, args=(str(tmp_path), i)
+            )
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        value = json.loads((tmp_path / "shared.json").read_text())
+        assert value["ok"] is True
+
+    def test_unique_tmp_paths_never_collide(self, tmp_path):
+        from repro.analysis.cache import unique_tmp
+
+        path = tmp_path / "x.json"
+        names = {unique_tmp(path) for _ in range(64)}
+        assert len(names) == 64
+        assert all(t.parent == path.parent for t in names)
 
 
 class TestRenderers:

@@ -1,0 +1,101 @@
+"""Golden-value regression suite for the paper's headline artifacts.
+
+Seeded end-to-end runs (train parent models from scratch, sweep, assemble
+Table II / Fig. 9) are checked against committed golden JSON
+(``tests/golden/golden_values.json``).  Accuracies are compared *exactly*:
+on one machine the pipeline is deterministic, so any drift means an
+engine/quantizer/training change.  EDP and degradation averages get a
+tight relative tolerance (pure float aggregation).  Caveat: training
+matmuls go through the platform BLAS, so a different BLAS build *can*
+legitimately reach different trained weights — if these tests fail on a
+new platform while the bit-identity property tests all pass, regenerate
+the goldens there and diff before assuming an engine regression.
+
+The iris-only checks run in tier-1; the full three-dataset runs (serial and
+``jobs=4`` parallel) are marked ``slow`` and run in the CI slow job.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import run_fig9, run_table2
+from repro.analysis.sweep import figure9_series, table2_rows, trained_model
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "golden_values.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+ALL_DATASETS = ("wbc", "iris", "mushroom")
+EDP_REL_TOL = 1e-9
+DEGRADATION_REL_TOL = 1e-12
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """Cold store + cold in-process cache: the run is truly end-to-end."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    trained_model.cache_clear()
+    yield tmp_path
+    trained_model.cache_clear()
+
+
+def assert_table2_matches(rows, golden_rows):
+    assert len(rows) == len(golden_rows)
+    for row, golden in zip(rows, golden_rows):
+        assert row["dataset"] == golden["dataset"]
+        assert row["inference_size"] == golden["inference_size"]
+        for field in ("posit", "float", "fixed", "float32"):
+            assert row[field] == golden[field], (row["dataset"], field)
+        for field in ("posit_config", "float_config", "fixed_config"):
+            assert row[field] == golden[field], (row["dataset"], field)
+
+
+def assert_figure9_matches(series, golden_series):
+    assert set(series) == set(golden_series)
+    for family, points in golden_series.items():
+        assert len(series[family]) == len(points), family
+        for point, golden in zip(series[family], points):
+            assert point["n"] == golden["n"]
+            assert point["avg_degradation_pct"] == pytest.approx(
+                golden["avg_degradation_pct"], rel=DEGRADATION_REL_TOL
+            ), (family, golden["n"])
+            assert point["avg_edp"] == pytest.approx(
+                golden["avg_edp"], rel=EDP_REL_TOL
+            ), (family, golden["n"])
+
+
+class TestGoldenIris:
+    """Tier-1 guard: one dataset, trained from scratch each run."""
+
+    def test_table2_iris(self, fresh_cache):
+        assert_table2_matches(table2_rows(("iris",)), GOLDEN["table2_iris"])
+
+    def test_figure9_iris(self, fresh_cache):
+        series = figure9_series((5, 8), ("iris",))
+        assert_figure9_matches(series, GOLDEN["figure9_iris"])
+
+
+@pytest.mark.slow
+class TestGoldenFull:
+    """Full three-dataset artifacts, serial and parallel."""
+
+    def test_table2_serial(self, fresh_cache):
+        assert_table2_matches(table2_rows(ALL_DATASETS), GOLDEN["table2"])
+
+    def test_table2_parallel_jobs4(self, fresh_cache):
+        rows = run_table2(ALL_DATASETS, jobs=4)
+        assert_table2_matches(rows, GOLDEN["table2"])
+
+    def test_figure9_serial(self, fresh_cache):
+        series = figure9_series((5, 6, 7, 8), ALL_DATASETS)
+        assert_figure9_matches(series, GOLDEN["figure9"])
+
+    def test_figure9_parallel_jobs4(self, fresh_cache):
+        series = run_fig9((5, 6, 7, 8), ALL_DATASETS, jobs=4)
+        assert_figure9_matches(series, GOLDEN["figure9"])

@@ -1,0 +1,138 @@
+"""Parallel runner: planning, bit-identity with the serial path, resume."""
+
+import pytest
+
+import repro.analysis.runner as runner_mod
+import repro.analysis.sweep as sweep_mod
+from repro.analysis.runner import (
+    SweepTask,
+    plan_tasks,
+    run_fig9,
+    run_sweeps,
+    run_table2,
+)
+from repro.analysis.store import artifact_store
+from repro.analysis.sweep import (
+    figure9_series,
+    sweep_task_key,
+    sweep_width,
+    table2_rows,
+    trained_model,
+)
+
+ALL_DATASETS = ("wbc", "iris", "mushroom")
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    trained_model.cache_clear()
+    yield tmp_path
+    trained_model.cache_clear()
+
+
+class TestPlanning:
+    def test_grid_order_dataset_major(self):
+        tasks = plan_tasks(("iris", "wbc"), (5, 8))
+        assert tasks == [
+            SweepTask("iris", 5),
+            SweepTask("iris", 8),
+            SweepTask("wbc", 5),
+            SweepTask("wbc", 8),
+        ]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            plan_tasks(("mnist",), (8,))
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            plan_tasks(("iris",), (1,))
+
+
+class TestRunnerFast:
+    def test_parallel_bit_identical_to_serial(self, fresh_cache):
+        parallel = run_sweeps(("iris",), (5,), jobs=2)
+        trained_model.cache_clear()  # serial re-derives from the store
+        assert parallel[SweepTask("iris", 5)] == sweep_width("iris", 5)
+
+    def test_parallel_bit_identical_to_fresh_training(
+        self, fresh_cache, monkeypatch
+    ):
+        parallel = run_sweeps(("iris",), (5,), jobs=2)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")  # force in-process retrain
+        trained_model.cache_clear()
+        assert parallel[SweepTask("iris", 5)] == sweep_width("iris", 5)
+
+    def test_completed_grid_resumes_without_pool(self, fresh_cache, monkeypatch):
+        first = run_sweeps(("iris",), (5,), jobs=2)
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("pool created although every task is cached")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        again = run_sweeps(("iris",), (5,), jobs=4)
+        assert again == first
+
+    def test_resume_recomputes_only_missing_task_without_retraining(
+        self, fresh_cache, monkeypatch
+    ):
+        first = run_sweeps(("iris",), (5, 8), jobs=1)
+        store = artifact_store()
+        store.result_path(sweep_task_key("iris", 8)).unlink()  # "interrupted"
+        trained_model.cache_clear()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("retrained despite a stored parent model")
+
+        monkeypatch.setattr(sweep_mod, "train_classifier", boom)
+        resumed = run_sweeps(("iris",), (5, 8), jobs=1)
+        assert resumed == first
+
+    def test_progress_messages(self, fresh_cache):
+        messages = []
+        run_sweeps(("iris",), (5, 6), jobs=1, progress=messages.append)
+        assert len(messages) == 2
+        assert all("iris" in m for m in messages)
+        messages.clear()
+        run_sweeps(("iris",), (5, 6), jobs=2, progress=messages.append)
+        assert sum("cached" in m for m in messages) == 2
+
+    def test_no_cache_parallel_still_bit_identical(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        trained_model.cache_clear()
+        parallel = run_sweeps(("iris",), (5,), jobs=2)
+        assert not (fresh_cache / "store").exists()
+        serial = run_sweeps(("iris",), (5,), jobs=1)
+        assert parallel == serial
+
+    def test_run_table2_matches_table2_rows(self, fresh_cache):
+        rows = run_table2(("iris",), jobs=2)
+        assert rows == table2_rows(("iris",))
+
+    def test_run_fig9_matches_figure9_series(self, fresh_cache):
+        series = run_fig9((5, 8), ("iris",), jobs=2)
+        assert series == figure9_series((5, 8), ("iris",))
+
+
+@pytest.mark.slow
+class TestRunnerFullBitIdentity:
+    """ISSUE acceptance: ``runner(jobs=4)`` output equals the serial
+    ``sweep_width`` path exactly, for every dataset at widths 5 and 8."""
+
+    def test_jobs4_bit_identical_every_dataset(self, fresh_cache):
+        parallel = run_sweeps(ALL_DATASETS, (5, 8), jobs=4)
+        trained_model.cache_clear()
+        for dataset in ALL_DATASETS:
+            for width in (5, 8):
+                serial = sweep_width(dataset, width)
+                assert parallel[SweepTask(dataset, width)] == serial, (
+                    dataset,
+                    width,
+                )
+
+    def test_full_table2_parallel_equals_serial(self, fresh_cache):
+        parallel = run_table2(ALL_DATASETS, jobs=4)
+        trained_model.cache_clear()
+        assert parallel == table2_rows(ALL_DATASETS)

@@ -1,0 +1,36 @@
+"""Regenerate ``golden_values.json`` after an *intentional* pipeline change.
+
+Runs the full seeded pipeline from scratch (no cache) and rewrites the
+golden file the regression suite compares against::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Review the diff before committing: every changed accuracy is a behavior
+change in training, quantization, or the exact-inference engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def main() -> None:
+    os.environ["REPRO_NO_CACHE"] = "1"  # always from scratch
+
+    from repro.analysis.sweep import figure9_series, table2_rows
+
+    golden = {
+        "table2": table2_rows(("wbc", "iris", "mushroom")),
+        "figure9": figure9_series((5, 6, 7, 8), ("wbc", "iris", "mushroom")),
+        "table2_iris": table2_rows(("iris",)),
+        "figure9_iris": figure9_series((5, 8), ("iris",)),
+    }
+    path = Path(__file__).resolve().parent / "golden_values.json"
+    path.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
