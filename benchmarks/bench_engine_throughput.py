@@ -3,16 +3,27 @@
 Not a paper figure; documents the cost of bit-exact emulation and the
 speedup of the limb-vectorized engine over the scalar soft-core models
 (what makes the Table II sweeps tractable).
+
+The ``network-inference`` group measures a full mushroom-sized posit8
+network forward through the compiled layer kernels against the retained
+PR 1 engine path (``dot_reference``); ``check_engine_regression.py``
+guards CI against the compiled-path speedup regressing versus the
+committed ``engine_baseline.json`` entry.
 """
 
 import numpy as np
 import pytest
 
 from repro import formats
+from repro.core import PositronNetwork
 from repro.posit import Posit, Quire
 from repro.posit.format import standard_format
 
 FORMAT_NAMES = ("posit8_1", "float4_3", "fixed8_4")
+
+#: The paper's largest topology (mushroom) at a bench-sized batch.
+NETWORK_TOPOLOGY = (117, 24, 12, 2)
+NETWORK_BATCH = 512
 
 
 def _layer_patterns(backend, rng, batch=64, fan_in=64, fan_out=16):
@@ -67,6 +78,53 @@ def test_roundoff_vectorized(benchmark, quire_roundoff_case, roundoff_baseline):
     backend, limbs = quire_roundoff_case
     result = benchmark(backend.encode_from_quire_batch, limbs)
     assert [int(p) for p in result.ravel()] == roundoff_baseline(backend, limbs)
+
+
+@pytest.fixture(scope="module")
+def posit8_network():
+    """(network, input patterns) of a seeded mushroom-sized posit8 model."""
+    backend = formats.get("posit8_1")
+    rng = np.random.default_rng(3)
+    weights = [
+        rng.normal(scale=0.8, size=(o, i))
+        for i, o in zip(NETWORK_TOPOLOGY, NETWORK_TOPOLOGY[1:])
+    ]
+    biases = [rng.normal(scale=0.2, size=o) for o in NETWORK_TOPOLOGY[1:]]
+    net = PositronNetwork.from_float_params(backend.fmt, weights, biases)
+    X = net.engine.quantize(rng.normal(size=(NETWORK_BATCH, NETWORK_TOPOLOGY[0])))
+    return net, X
+
+
+def _pr1_forward(net, X):
+    """The PR 1 engine path: per-layer dot_reference + relu."""
+    out = X
+    for layer in net.layers:
+        out = net.engine.dot_reference(layer.weights, out, layer.bias)
+        if layer.activation == "relu":
+            out = net.engine.relu(out)
+    return out
+
+
+@pytest.mark.benchmark(group="network-inference")
+def test_network_inference_compiled(benchmark, posit8_network):
+    """Full-network exact inference through the compiled layer kernels."""
+    net, X = posit8_network
+    result = benchmark(net.forward_patterns, X)
+    assert result.shape == (NETWORK_BATCH, NETWORK_TOPOLOGY[-1])
+    assert np.array_equal(result, _pr1_forward(net, X))  # bit-identical
+    macs = NETWORK_BATCH * sum(
+        i * o for i, o in zip(NETWORK_TOPOLOGY, NETWORK_TOPOLOGY[1:])
+    )
+    benchmark.extra_info["exact_macs_per_round"] = macs
+
+
+@pytest.mark.benchmark(group="network-inference")
+def test_network_inference_pr1_baseline(benchmark, posit8_network):
+    """The same forward on the retained PR 1 engine path (the baseline the
+    regression guard compares the compiled kernels against)."""
+    net, X = posit8_network
+    result = benchmark(_pr1_forward, net, X)
+    assert result.shape == (NETWORK_BATCH, NETWORK_TOPOLOGY[-1])
 
 
 @pytest.mark.benchmark(group="throughput-scalar")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI regression guard for the compiled-kernel inference throughput.
+
+Reads a ``pytest-benchmark`` JSON produced by ``bench_engine_throughput.py``
+and computes the full-network speedup of the compiled kernels over the
+retained PR 1 engine path (both measured in the *same* run, so the ratio is
+machine-independent).  Fails when the speedup drops below the acceptance
+floor or more than 30% under the committed baseline entry.
+
+Usage::
+
+    python benchmarks/check_engine_regression.py BENCH_engine.json \
+        [benchmarks/engine_baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Acceptance floor: compiled full-network inference must stay >= 3x PR 1.
+SPEEDUP_FLOOR = 3.0
+
+#: Allowed fraction of the committed baseline speedup (30% drop tolerance).
+BASELINE_FRACTION = 0.7
+
+COMPILED = "test_network_inference_compiled"
+REFERENCE = "test_network_inference_pr1_baseline"
+
+
+def mean_seconds(report: dict, name: str) -> float:
+    for bench in report["benchmarks"]:
+        if bench["name"] == name:
+            return float(bench["stats"]["mean"])
+    raise SystemExit(f"benchmark entry '{name}' missing from the report")
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    report = json.loads(Path(argv[1]).read_text())
+    baseline_path = Path(
+        argv[2] if len(argv) == 3 else Path(__file__).parent / "engine_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+
+    speedup = mean_seconds(report, REFERENCE) / mean_seconds(report, COMPILED)
+    committed = float(baseline["network_inference_speedup"])
+    required = max(SPEEDUP_FLOOR, BASELINE_FRACTION * committed)
+    print(
+        f"compiled-kernel network speedup: {speedup:.2f}x "
+        f"(committed baseline {committed:.2f}x, required >= {required:.2f}x)"
+    )
+    if speedup < required:
+        print("FAIL: compiled inference throughput regressed", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

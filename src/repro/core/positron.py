@@ -6,8 +6,14 @@ network's numerical format, and computes every neuron with an exact
 multiply-and-accumulate: products of the low-precision inputs are
 accumulated exactly and rounded once back to the ``n``-bit format.  Hidden
 layers apply ReLU (exact on patterns: negative -> zero); the readout layer
-is affine ("identity" activation), and classification takes the argmax of
-the decoded outputs.
+is affine ("identity" activation), and classification argmaxes the readout
+patterns directly through the format's monotone rank table (identical to
+argmaxing the decoded values, without the float64 decode).
+
+Each layer compiles its ``(weights, bias)`` into a reusable kernel at
+construction (:mod:`repro.formats.kernels`): weight digits are gathered and
+stacked once, so every ``forward`` is a single float64 GEMM per batch chunk
+plus the batched round-once output stage.
 
 Two execution paths produce identical bits:
 
@@ -73,6 +79,19 @@ class PositronLayer:
             raise ValueError("bias shape must match the output dimension")
         if self.activation not in _ACTIVATIONS:
             raise ValueError(f"activation must be one of {_ACTIVATIONS}")
+        self.recompile()
+
+    def recompile(self) -> None:
+        """(Re)compile the layer kernel from the current parameters.
+
+        Parameters are compiled once here — gathering weight digits,
+        pruning dead planes, stacking the digit-plane GEMM, precomputing
+        bias limbs — and every :meth:`forward` reuses the kernel.  Call
+        again after mutating ``weights``/``bias`` in place.
+        """
+        self._kernel = formats.backend_for(self.fmt).compile_layer(
+            self.weights, self.bias
+        )
 
     @property
     def in_features(self) -> int:
@@ -93,8 +112,8 @@ class PositronLayer:
 
     # ------------------------------------------------------------------
     def forward(self, patterns: np.ndarray) -> np.ndarray:
-        """Vectorized exact forward pass on ``(batch, in)`` patterns."""
-        out = self.engine.dot(self.weights, patterns, self.bias)
+        """Compiled exact forward pass on ``(batch, in)`` patterns."""
+        out = self._kernel(np.asarray(patterns, dtype=np.uint32))
         if self.activation == "relu":
             out = self.engine.relu(out)
         return out
@@ -111,10 +130,8 @@ class PositronLayer:
             )
             outputs.append(bits)
         if self.activation == "relu":
-            outputs = [
-                int(self.engine.relu(np.array([b], dtype=np.uint32))[0])
-                for b in outputs
-            ]
+            relu = self.engine.relu(np.asarray(outputs, dtype=np.uint32))
+            outputs = [int(b) for b in relu]
         return outputs
 
 
@@ -200,9 +217,23 @@ class PositronNetwork:
         patterns = self.engine.quantize(np.asarray(inputs, dtype=np.float64))
         return self.engine.decode_values(self.forward_patterns(patterns))
 
+    def predict_patterns(self, patterns: np.ndarray) -> np.ndarray:
+        """Class prediction from input *patterns*, argmaxed in pattern space.
+
+        The readout rows are never decoded: the backend's monotone rank
+        table (:meth:`repro.formats.NumericFormat.rank_table`) orders
+        patterns exactly as their values do — equal values share a rank —
+        so ``argmax(rank[out])`` is identical to argmaxing the decoded
+        float64 activations, ties included.
+        """
+        out = self.forward_patterns(patterns)
+        ranks = formats.backend_for(self.fmt).rank_table()
+        return np.argmax(ranks[out.astype(np.int64)], axis=1)
+
     def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Class prediction: argmax of the decoded readout activations."""
-        return np.argmax(self.forward_values(inputs), axis=1)
+        """Class prediction: pattern-space argmax of the exact readout."""
+        patterns = self.engine.quantize(np.asarray(inputs, dtype=np.float64))
+        return self.predict_patterns(patterns)
 
     def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on float inputs."""

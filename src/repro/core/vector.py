@@ -7,10 +7,14 @@ results with numpy:
 * every pattern's exact aligned value ``(-1)**sign * sig << shift`` (from
   the format backend's decode tables) is decomposed once, per pattern, into
   a handful of signed base-``2**LIMB_BITS`` digits;
-* a product's limb-``k`` contribution is the convolution of the operand
-  digits: ``limbs[b, o, k] = sum_{l+m=k} (A_m @ W_l.T)[b, o]`` — one float64
-  BLAS matmul per (l, m) digit-plane pair (digits are < 2**20, so per-limb
-  partial sums stay far below 2**53 and the float64 staging is exact);
+* ``dot`` compiles ``(weights, bias)`` into a one-shot layer kernel
+  (:mod:`repro.formats.kernels`): the digit-plane convolution runs as a
+  single stacked float64 BLAS GEMM per batch chunk, with single-word and
+  plane-major fast paths when the weights allow them;
+* ``dot_reference`` retains the pre-compiled path — one float64 matmul per
+  (l, m) digit-plane pair, ``limbs[b, o, k] = sum_{l+m=k} (A_m @ W_l.T)`` —
+  as the in-tree baseline for bit-identity tests and the throughput
+  regression guard;
 * the limb tensor is rounded once, whole batches at a time, by the
   backend's :meth:`~repro.formats.NumericFormat.encode_from_quire_batch` —
   no per-sample Python loop anywhere on the hot path.
@@ -43,8 +47,10 @@ __all__ = [
     "engine_for",
 ]
 
-#: Soft cap on the size of the (chunk, out, in) intermediate term tensors.
-_CHUNK_ELEMENTS = 4_000_000
+#: Soft cap on the size of per-chunk intermediate tensors.  Seeded from the
+#: kernels module's canonical value; ``dot`` passes this module's (possibly
+#: monkeypatched) copy through at call time.
+_CHUNK_ELEMENTS = formats.kernels._CHUNK_ELEMENTS
 
 
 class VectorEngine(ABC):
@@ -69,6 +75,20 @@ class VectorEngine(ABC):
         bias: np.ndarray | None = None,
     ) -> np.ndarray:
         """(out, in) weights x (batch, in) activations -> (batch, out)."""
+
+    def dot_reference(
+        self,
+        weights: np.ndarray,
+        activations: np.ndarray,
+        bias: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reference (pre-compiled-kernel) dot path; defaults to ``dot``.
+
+        Table engines override this with the retained PR 1 digit-plane
+        nest so bit-identity tests and the throughput benchmark keep an
+        in-tree baseline to compare the compiled kernels against.
+        """
+        return self.dot(weights, activations, bias)
 
     @abstractmethod
     def relu(self, patterns: np.ndarray) -> np.ndarray:
@@ -158,31 +178,8 @@ class TableVectorEngine(VectorEngine):
             raise ValueError("significand products too wide for int64 limbs")
         self._num_limbs = (tables.max_shift + max_term_bits) // LIMB_BITS + 2
         self._tables = tables
-        self._digits = self._build_digit_table(tables)
-
-    @staticmethod
-    def _build_digit_table(tables: formats.LimbTables) -> np.ndarray:
-        """Signed base-``2**LIMB_BITS`` digits of each pattern's value.
-
-        Pattern ``p`` represents the exact integer ``signed_sig[p] <<
-        shift[p]`` (in quire-LSB units of one *input*); entry ``[p, l]`` is
-        its signed digit of weight ``2**(LIMB_BITS * l)``.  Stored as
-        float64 (digits are < 2**20, exactly representable) so the dot
-        product's digit-plane contractions run on BLAS.
-        """
-        sig = tables.signed_sig
-        mag = np.abs(sig)
-        coarse, rem = np.divmod(tables.shift, LIMB_BITS)
-        m = mag << rem  # < 2**(sig_bits + LIMB_BITS - 1), fits easily
-        max_input_shift = tables.max_shift // 2
-        num = (max_input_shift + tables.sig_bits) // LIMB_BITS + 2
-        digits = np.zeros((sig.shape[0], num), dtype=np.int64)
-        rows = np.arange(sig.shape[0])
-        mask = (1 << LIMB_BITS) - 1
-        for l in range((tables.sig_bits + LIMB_BITS - 1) // LIMB_BITS + 1):
-            digits[rows, coarse + l] += (m >> (LIMB_BITS * l)) & mask
-        digits *= np.sign(sig)[:, None]
-        return digits.astype(np.float64)
+        # Shared per-backend signed digit table (see formats.kernels).
+        self._digits = formats.digit_planes(backend)
 
     @property
     def width(self) -> int:
@@ -204,7 +201,22 @@ class TableVectorEngine(VectorEngine):
         return p
 
     def dot(self, weights, activations, bias=None):
-        """Exact limb-accumulated dot products, rounded once per output."""
+        """Exact round-once dot products via a one-shot compiled kernel.
+
+        Compiles ``(weights, bias)`` into a stacked digit-plane GEMM kernel
+        (:mod:`repro.formats.kernels`) and applies it — one BLAS call per
+        batch chunk, bit-identical to :meth:`dot_reference`.  Callers that
+        reuse the same weights (layers, sweeps) should compile once via
+        ``backend.compile_layer`` instead.
+        """
+        kernel = self.backend.compile_layer(
+            weights, bias, chunk_elements=_CHUNK_ELEMENTS
+        )
+        return kernel(np.asarray(activations, dtype=np.uint32))
+
+    def dot_reference(self, weights, activations, bias=None):
+        """The PR 1 digit-plane-nest path, retained as the in-tree baseline
+        for kernel bit-identity tests and the throughput benchmark."""
         weights = np.asarray(weights, dtype=np.uint32)
         activations = np.asarray(activations, dtype=np.uint32)
         _validate_shapes(weights, activations, bias)
@@ -298,5 +310,10 @@ class FloatVectorEngine(TableVectorEngine):
 
 
 def engine_for(fmt) -> VectorEngine:
-    """Engine factory: resolve the format's registered backend."""
-    return formats.backend_for(fmt).make_engine()
+    """The format's registered engine, memoized per format key.
+
+    Engines are read-only once built, so one shared instance per backend
+    serves every consumer — sweeps, layers, and pool workers stop
+    rebuilding decode/digit tables per config.
+    """
+    return formats.backend_for(fmt).engine()

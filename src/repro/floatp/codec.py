@@ -13,6 +13,7 @@ produced.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -163,7 +164,13 @@ def encode_fraction(fmt: FloatFormat, value: Fraction) -> int:
 
 
 def encode_float(fmt: FloatFormat, value: float) -> int:
-    """Round a Python float to the nearest pattern (finite inputs only)."""
+    """Round a Python float to the nearest pattern (finite inputs only).
+
+    Signed zero is preserved (``-0.0`` encodes to the negative-zero
+    pattern), keeping quantize/decode idempotent on the zero patterns.
+    """
     if value != value or value in (float("inf"), float("-inf")):
         raise ValueError("cannot encode non-finite float")
+    if value == 0:
+        return fmt.sign_mask if math.copysign(1.0, value) < 0 else 0
     return encode_fraction(fmt, Fraction(value))

@@ -67,7 +67,10 @@ def _build(fmt: FloatFormat) -> FloatTables:
         scale[bits] = d.scale
         significand[bits] = d.significand
         is_zero[bits] = d.significand == 0
-        float_value[bits] = float(d.to_fraction())
+        value = float(d.to_fraction())
+        if d.significand == 0 and d.sign:
+            value = -0.0  # keep the sign of zero through decode
+        float_value[bits] = value
         relu[bits] = 0 if d.sign else bits
     return FloatTables(
         fmt=fmt,
@@ -131,10 +134,14 @@ def quantize_array(fmt: FloatFormat, values: np.ndarray) -> np.ndarray:
     out_idx = np.where(flat >= table_values[-1], len(table_values) - 1, out_idx)
     result = table_patterns[out_idx]
     # The scalar encoder returns *signed* zero on underflow; the value table
-    # cannot distinguish +-0, so patch magnitude-zero results by input sign.
+    # cannot distinguish +-0, so patch magnitude-zero results by input sign
+    # (signbit, so a -0.0 input keeps its sign and quantize stays idempotent
+    # over decode).
     mag_zero = (result & np.uint32(fmt.mask & ~fmt.sign_mask)) == 0
     result = np.where(
-        mag_zero, np.where(flat < 0, np.uint32(fmt.sign_mask), np.uint32(0)), result
+        mag_zero,
+        np.where(np.signbit(flat), np.uint32(fmt.sign_mask), np.uint32(0)),
+        result,
     )
     return result.astype(np.uint32).reshape(arr.shape)
 

@@ -17,11 +17,21 @@ and the CLI with no further code changes.
 """
 
 from .base import LimbTables, NumericFormat
+from .kernels import (
+    DotLayerKernel,
+    LayerKernel,
+    MatmulLayerKernel,
+    TableLayerKernel,
+    clear_scratch,
+    compile_layer,
+    digit_planes,
+)
 from .quire import (
     LIMB_BITS,
     NormalizedQuire,
     bit_length_int64,
     normalize_quire_limbs,
+    words_as_quire,
 )
 from .registry import (
     FormatFamily,
@@ -39,9 +49,17 @@ from .posit_backend import PositBackend
 __all__ = [
     "NumericFormat",
     "LimbTables",
+    "LayerKernel",
+    "TableLayerKernel",
+    "MatmulLayerKernel",
+    "DotLayerKernel",
+    "compile_layer",
+    "digit_planes",
+    "clear_scratch",
     "LIMB_BITS",
     "NormalizedQuire",
     "normalize_quire_limbs",
+    "words_as_quire",
     "bit_length_int64",
     "FormatFamily",
     "register_family",

@@ -84,10 +84,55 @@ class NumericFormat(ABC):
     def quire_lsb_exponent(self) -> int:
         """Power-of-two weight of the exact accumulator's LSB."""
 
+    # -- memoization ----------------------------------------------------
+    def _memo(self, key: str, build):
+        """Instance-level memo: backends are registry-cached per format
+        key, so anything stored here is shared by every consumer."""
+        value = self.__dict__.get(key)
+        if value is None:
+            value = self.__dict__[key] = build()
+        return value
+
     # -- vectorized kernels ---------------------------------------------
     def limb_tables(self) -> LimbTables | None:
         """Decode tables for the limb engine; ``None`` if not table-driven."""
         return None
+
+    def compile_layer(self, weights, bias=None, *, chunk_elements=None):
+        """Compile ``(weights, bias)`` into a reusable :class:`LayerKernel`.
+
+        Table-driven formats get the stacked digit-plane GEMM kernel (see
+        :mod:`repro.formats.kernels`); families without limb tables fall
+        back to a kernel that defers to their engine's ``dot`` — override
+        for a format-specific compiled path (fixed point does).
+        """
+        from .kernels import DotLayerKernel, TableLayerKernel
+
+        if self.limb_tables() is not None:
+            return TableLayerKernel(
+                self, weights, bias, chunk_elements=chunk_elements
+            )
+        return DotLayerKernel(self, weights, bias)
+
+    def rank_table(self) -> np.ndarray:
+        """Monotone int64 rank per pattern: ``rank[p] < rank[q]`` iff
+        ``value[p] < value[q]`` and equal values share a rank.
+
+        Lets readout argmax run in pattern space (no float64 decode of the
+        readout rows) with results identical to argmaxing decoded values —
+        equal ranks for equal values keep tie-breaking (first index wins)
+        the same.  Invalid patterns rank lowest; the datapath never emits
+        them.
+        """
+
+        def build():
+            values = self.decode_batch(
+                np.arange(1 << self.width, dtype=np.uint32)
+            )
+            vals = np.where(np.isfinite(values), values, -np.inf)
+            return np.searchsorted(np.unique(vals), vals).astype(np.int64)
+
+        return self._memo("_rank_table", build)
 
     @abstractmethod
     def quantize_batch(self, values: np.ndarray) -> np.ndarray:
@@ -111,6 +156,22 @@ class NumericFormat(ABC):
         once with the scalar encoder.
         """
 
+    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
+        """Round exact *single-word* quires (int64 ``words`` of quire LSBs).
+
+        The compiled layer kernels prove, per weight matrix, when every
+        possible quire fits one int64 (see :mod:`repro.formats.kernels`);
+        this entry point then skips limb normalization entirely.  The
+        default routes through :meth:`encode_from_quire_batch`; table
+        backends override it with a direct sign/magnitude encode.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        # Four limbs: |word| < 2**62 leaves the top limb as pure sign
+        # extension, as normalization requires.
+        limbs = np.zeros(words.shape + (4,), dtype=np.int64)
+        limbs[..., 0] = words
+        return self.encode_from_quire_batch(limbs)
+
     # -- scalar reference hooks -----------------------------------------
     @abstractmethod
     def encode_from_quire_scalar(self, quire: int) -> int:
@@ -121,6 +182,16 @@ class NumericFormat(ABC):
         """Round ``value`` toward zero to a pattern (ablation reference)."""
 
     # -- factories (lazy core imports; formats must not import core) ----
+    def engine(self):
+        """The shared memoized engine for this format.
+
+        Engines are read-only once built (tables plus pure functions), so
+        one instance per backend serves every consumer in a process —
+        sweeps and pool workers stop rebuilding decode/digit tables per
+        candidate config.  Use :meth:`make_engine` for a private instance.
+        """
+        return self._memo("_engine", self.make_engine)
+
     @abstractmethod
     def make_engine(self):
         """Vectorized EMAC engine for this format."""

@@ -43,6 +43,12 @@ class FixedBackend(NumericFormat):
         return -2 * self.fmt.q
 
     # ------------------------------------------------------------------
+    def compile_layer(self, weights, bias=None, *, chunk_elements=None):
+        """Fixed layers compile to a precomputed signed int64 matmul."""
+        from .kernels import MatmulLayerKernel
+
+        return MatmulLayerKernel(self, weights, bias)
+
     def quantize_batch(self, values: np.ndarray) -> np.ndarray:
         return fx.quantize_array(self.fmt, values)
 

@@ -17,7 +17,12 @@ from ..floatp import tables as ft
 from ..floatp.codec import decode as float_decode, encode_exact, encode_fraction
 from ..floatp.format import FloatFormat
 from .base import LimbTables, NumericFormat
-from .quire import NormalizedQuire, bit_length_int64, normalize_quire_limbs
+from .quire import (
+    NormalizedQuire,
+    bit_length_int64,
+    normalize_quire_limbs,
+    words_as_quire,
+)
 
 __all__ = ["FloatBackend"]
 
@@ -44,6 +49,9 @@ class FloatBackend(NumericFormat):
 
     # ------------------------------------------------------------------
     def limb_tables(self) -> LimbTables:
+        return self._memo("_limb_tables", self._build_limb_tables)
+
+    def _build_limb_tables(self) -> LimbTables:
         fmt = self.fmt
         t = ft.tables_for(fmt)
         sign = t.sign.astype(np.int64)
@@ -75,6 +83,9 @@ class FloatBackend(NumericFormat):
     # ------------------------------------------------------------------
     def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
         return self._encode_normalized(normalize_quire_limbs(limbs))
+
+    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
+        return self._encode_normalized(words_as_quire(words))
 
     def _encode_normalized(self, q: NormalizedQuire) -> np.ndarray:
         fmt = self.fmt

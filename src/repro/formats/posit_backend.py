@@ -20,7 +20,7 @@ from ..posit.decode import decode as posit_decode
 from ..posit.encode import encode_exact, encode_fraction
 from ..posit.format import PositFormat
 from .base import LimbTables, NumericFormat
-from .quire import NormalizedQuire, normalize_quire_limbs
+from .quire import NormalizedQuire, normalize_quire_limbs, words_as_quire
 
 __all__ = ["PositBackend"]
 
@@ -52,6 +52,9 @@ class PositBackend(NumericFormat):
 
     # ------------------------------------------------------------------
     def limb_tables(self) -> LimbTables:
+        return self._memo("_limb_tables", self._build_limb_tables)
+
+    def _build_limb_tables(self) -> LimbTables:
         fmt = self.fmt
         t = pt.tables_for(fmt)
         sign = t.sign.astype(np.int64)
@@ -83,6 +86,9 @@ class PositBackend(NumericFormat):
     # ------------------------------------------------------------------
     def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
         return self._encode_normalized(normalize_quire_limbs(limbs))
+
+    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
+        return self._encode_normalized(words_as_quire(words))
 
     def _encode_normalized(self, q: NormalizedQuire) -> np.ndarray:
         fmt = self.fmt

@@ -26,7 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LIMB_BITS", "NormalizedQuire", "normalize_quire_limbs", "bit_length_int64"]
+__all__ = [
+    "LIMB_BITS",
+    "NormalizedQuire",
+    "normalize_quire_limbs",
+    "words_as_quire",
+    "bit_length_int64",
+]
 
 #: Width of one vector-engine limb.  Terms are ``product << (shift % LIMB_BITS)``
 #: with products below 2**12 at the paper's widths, so per-limb partial sums
@@ -75,6 +81,28 @@ def bit_length_int64(x: np.ndarray) -> np.ndarray:
     e = e.astype(np.int64)
     over = (v >> np.clip(e - 1, 0, 63)) == 0
     return np.where(v > 0, e - over, 0)
+
+
+def words_as_quire(words: np.ndarray) -> NormalizedQuire:
+    """Sign/magnitude view of *single-word* exact quires.
+
+    Each int64 ``word`` is a whole quire value in quire-LSB units
+    (``|word| < 2**62`` so the magnitude keeps a headroom bit).  The
+    compiled layer kernels use this when the weights prove every possible
+    accumulation fits one word: no limb normalization, no sticky tail —
+    the magnitude *is* the exact ``top``.
+    """
+    w = np.asarray(words, dtype=np.int64)
+    sign = w < 0
+    mag = np.where(sign, -w, w)
+    return NormalizedQuire(
+        sign=sign,
+        top=mag,
+        top_bits=bit_length_int64(mag),
+        shift=np.zeros(w.shape, dtype=np.int64),
+        sticky=np.zeros(w.shape, dtype=bool),
+        is_zero=w == 0,
+    )
 
 
 def normalize_quire_limbs(limbs: np.ndarray) -> NormalizedQuire:

@@ -60,6 +60,7 @@ class FormatFamily:
 
 _FAMILIES: dict[str, FormatFamily] = {}
 _BACKENDS: dict[object, NumericFormat] = {}
+_BY_NAME: dict[str, NumericFormat] = {}
 
 
 def register_family(family: FormatFamily) -> None:
@@ -67,9 +68,12 @@ def register_family(family: FormatFamily) -> None:
     if not issubclass(family.backend_cls, NumericFormat):
         raise TypeError("backend_cls must subclass NumericFormat")
     _FAMILIES[family.name] = family
-    # Drop stale cached backends in case a family is being replaced.
+    # Drop stale cached backends in case a family is being replaced.  The
+    # name memo is order-sensitive (families parse in registration order),
+    # so it is flushed wholesale.
     for fmt in [f for f, b in _BACKENDS.items() if b.family == family.name]:
         del _BACKENDS[fmt]
+    _BY_NAME.clear()
 
 
 def unregister_family(name: str) -> None:
@@ -78,6 +82,7 @@ def unregister_family(name: str) -> None:
     if family is not None:
         for fmt in [f for f, b in _BACKENDS.items() if b.family == name]:
             del _BACKENDS[fmt]
+        _BY_NAME.clear()
 
 
 def families() -> tuple[FormatFamily, ...]:
@@ -115,15 +120,22 @@ def get(name: str) -> NumericFormat:
 
     Raises ``KeyError`` both for names no family recognizes and for names a
     family parses but whose parameters its descriptor rejects, so callers
-    have a single error contract.
+    have a single error contract.  Resolutions are memoized per name key
+    (on top of the per-descriptor backend cache), so hot by-name paths —
+    sweep config enumeration, CLI, pool workers — skip re-parsing.
     """
+    cached = _BY_NAME.get(name)
+    if cached is not None:
+        return cached
     for family in _FAMILIES.values():
         try:
             fmt = family.parse(name)
         except ValueError as exc:
             raise KeyError(f"invalid format name {name!r}: {exc}") from exc
         if fmt is not None:
-            return backend_for(fmt)
+            backend = backend_for(fmt)
+            _BY_NAME[name] = backend
+            return backend
     known = ", ".join(_FAMILIES) or "<none>"
     raise KeyError(f"unknown format name {name!r} (registered families: {known})")
 

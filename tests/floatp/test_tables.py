@@ -62,6 +62,18 @@ class TestQuantize:
         with pytest.raises(ValueError):
             quantize_array(F43, np.array([np.inf]))
 
+    def test_signed_zero_roundtrip_idempotent(self):
+        """quantize(decode(p)) == p on both zero patterns; the scalar
+        encoder agrees (regression: -0.0 used to re-quantize to +0)."""
+        zeros = np.array([0, F43.sign_mask], dtype=np.uint32)
+        back = dequantize_array(F43, zeros)
+        assert np.array_equal(quantize_array(F43, back), zeros)
+        tiny = np.array([1e-9, -1e-9, 0.0, -0.0])
+        got = quantize_array(F43, tiny)
+        assert np.array_equal(got, [0, F43.sign_mask, 0, F43.sign_mask])
+        for v, bits in zip(tiny, got):
+            assert FloatP.from_value(F43, float(v)).bits == int(bits)
+
     def test_dequantize_roundtrip(self, rng):
         values = rng.normal(size=32)
         patterns = quantize_array(F43, values)

@@ -49,6 +49,24 @@ class TestLookup:
         fmt = standard_format(8, 1)
         assert formats.backend_for(fmt) is formats.backend_for(fmt)
 
+    def test_get_memoized_per_name(self):
+        assert formats.get("posit8_1") is formats.get("posit8_1")
+
+    def test_engine_memoized_per_format_key(self):
+        from repro.core import engine_for
+
+        fmt = standard_format(8, 1)
+        backend = formats.backend_for(fmt)
+        assert backend.engine() is backend.engine()
+        assert engine_for(fmt) is engine_for(standard_format(8, 1))
+        # make_engine still hands out private instances
+        assert backend.make_engine() is not backend.engine()
+
+    def test_limb_tables_memoized(self):
+        backend = formats.get("posit8_1")
+        assert backend.limb_tables() is backend.limb_tables()
+        assert formats.digit_planes(backend) is formats.digit_planes(backend)
+
     def test_families_registered(self):
         assert [f.name for f in formats.families()] == ["posit", "float", "fixed"]
 
