@@ -27,6 +27,14 @@ content-addressed artifact cache (interrupt it; rerunning resumes)::
     python -m repro run fig9 --jobs 4      # Fig. 9, all widths
     python -m repro run sweep --jobs 4 --datasets iris,wbc --widths 5,8
     python -m repro run table2 --no-cache  # bypass the artifact cache
+
+The micro-batching inference service answers concurrent predict requests
+over HTTP, coalescing them into compiled-kernel-sized batches with
+responses bit-identical to direct ``predict`` (see docs/serving.md)::
+
+    python -m repro serve                  # listen on 127.0.0.1:8707
+    python -m repro serve --port 9000 --max-batch 64 --max-delay-ms 5
+    python -m repro serve --warmup wbc:posit8_1 --warmup iris:float4_3
 """
 
 from __future__ import annotations
@@ -244,6 +252,63 @@ def _run(args: list[str]) -> str:
     return "\n".join(lines)
 
 
+def _serve(args: list[str]) -> int:
+    import argparse
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Micro-batching exact-MAC inference service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8707,
+                        help="listen port (0 = any free port)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="rows per coalesced kernel batch")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="longest a lone request waits for batchmates")
+    parser.add_argument("--queue-limit", type=int, default=256,
+                        help="bounded per-model queue (backpressure)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="executor threads running kernel batches")
+    parser.add_argument(
+        "--warmup", action="append", default=[], metavar="DATASET:FORMAT",
+        help="preload a model before serving (repeatable)",
+    )
+    ns = parser.parse_args(args)
+
+    warmups = []
+    for spec in ns.warmup:
+        dataset, sep, format_name = spec.partition(":")
+        if not sep or not dataset or not format_name:
+            print(f"error: --warmup wants DATASET:FORMAT, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        warmups.append((dataset, format_name))
+
+    from .serve import serve_forever
+
+    try:
+        asyncio.run(serve_forever(
+            warmups=warmups,
+            host=ns.host,
+            port=ns.port,
+            max_batch=ns.max_batch,
+            max_delay_ms=ns.max_delay_ms,
+            queue_limit=ns.queue_limit,
+            executor_workers=ns.workers,
+        ))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except (KeyError, ValueError, OSError) as exc:
+        # str(KeyError) wraps the message in quotes; str(OSError) keeps
+        # the human-readable bind error (args[0] would be a bare errno).
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "table1": _table1,
     "fig2": _fig2,
@@ -279,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
         return 0
+    if command == "serve":
+        return _serve(args[1:])
     if command == "sweep":
         if len(args) < 3:
             print("usage: python -m repro sweep <dataset> <width|format-name>",

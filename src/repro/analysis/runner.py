@@ -19,6 +19,10 @@ consequences:
 
 With ``REPRO_NO_CACHE=1`` the store is bypassed: workers return results
 over the pipe only, and each worker trains its own parent model.
+
+CLI: ``python -m repro run table2|fig9|sweep --jobs N``.  The full guide —
+phases, resume semantics, environment variables — is
+``docs/running-experiments.md``.
 """
 
 from __future__ import annotations

@@ -18,6 +18,11 @@ parallel sweep workers can race on the same artifact safely (worst case: a
 duplicated identical write).  Corrupt files are deleted and recomputed.
 ``REPRO_NO_CACHE=1`` bypasses the store entirely; ``REPRO_CACHE_DIR``
 relocates it.
+
+The store feeds both the experiment runner (``docs/running-experiments.md``
+documents keys, layout, and resume semantics) and the serving layer's model
+registry (``docs/serving.md``), which loads trained parents by the same
+spec hash instead of retraining per server start.
 """
 
 from __future__ import annotations

@@ -24,7 +24,10 @@ paper's widths.
 
 Engines are obtained from the format registry (``engine_for``); the engine
 layer itself is format-agnostic and knows nothing about concrete number
-systems.
+systems.  Registry-memoized engines are shared process-wide and safe to
+use from multiple threads (scratch buffers are per-thread, see
+:mod:`repro.formats.kernels`).  The compile-then-run pipeline is described
+end to end in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -70,10 +70,14 @@ summation error):
   topologies: ~2 GEMMs per layer, no staging transpose, no limb tensor.
 
 Scratch buffers (the staged activations, the GEMM output, and the int64
-limb tensor) come from a grow-only module pool keyed by shape, so they are
-reused across batch chunks *and* across the layers of a network.  The pool
-is not thread-safe; engines and networks are single-threaded by design
-(parallelism lives in the process-pool runner).
+limb tensor) come from a grow-only *per-thread* pool keyed by shape, so
+they are reused across batch chunks *and* across the layers of a network.
+Because the pool is thread-local, the memoized backends/engines handed out
+by the format registry are safe to share across threads (the serving
+layer's executor runs batches for different models concurrently); within a
+thread a kernel call never yields, so asyncio tasks cannot interleave
+mid-call either.  Cross-process parallelism lives in the process-pool
+runner.
 
 Kernels are obtained through :meth:`repro.formats.NumericFormat.compile_layer`
 (table-driven formats get the stacked GEMM; fixed point gets a precompiled
@@ -82,6 +86,8 @@ the existing engine API is unchanged.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -110,8 +116,9 @@ class _ScratchPool:
 
     Layer kernels request identically shaped staging / GEMM / limb buffers
     on every chunk of every forward call; handing back the same arrays
-    keeps the hot path allocation-free.  Not thread-safe (nor is anything
-    else on the engine hot path).
+    keeps the hot path allocation-free.  One pool exists per thread (see
+    :func:`_scratch`), so two kernels running on different threads can
+    never hand out the same buffer.
     """
 
     def __init__(self) -> None:
@@ -138,12 +145,26 @@ class _ScratchPool:
         self._buffers.clear()
 
 
-_SCRATCH = _ScratchPool()
+_SCRATCH_TLS = threading.local()
+
+
+def _scratch() -> _ScratchPool:
+    """The calling thread's scratch pool (created on first use).
+
+    Keying the pool by thread is what makes the registry-memoized engines
+    and compiled kernels shareable across executor threads: concurrent
+    forward passes each stage into their own buffers, while the
+    single-threaded hot path keeps its allocation-free reuse.
+    """
+    pool = getattr(_SCRATCH_TLS, "pool", None)
+    if pool is None:
+        pool = _SCRATCH_TLS.pool = _ScratchPool()
+    return pool
 
 
 def clear_scratch() -> None:
-    """Drop all pooled scratch buffers (tests / memory-sensitive callers)."""
-    _SCRATCH.clear()
+    """Drop this thread's pooled scratch buffers (tests / memory callers)."""
+    _scratch().clear()
 
 
 def digit_planes(backend: NumericFormat) -> np.ndarray:
@@ -404,16 +425,17 @@ class TableLayerKernel(LayerKernel):
             if self._chunk_elements is not None
             else _CHUNK_ELEMENTS
         )
+        scratch = _scratch()
         if self._plane_major:
             chunk = max(1, cap // max(1, self.in_features + out_dim))
             for start in range(0, batch, chunk):
                 stop = min(batch, start + chunk)
                 rows = stop - start
                 apc = ap[start:stop]
-                words = _SCRATCH.get((rows, out_dim), np.int64, "words")
+                words = scratch.get((rows, out_dim), np.int64, "words")
                 words.fill(0)
-                shifted = _SCRATCH.get((rows, out_dim), np.int64, "shifted")
-                prod = _SCRATCH.get((rows, out_dim), np.float64, "prod")
+                shifted = scratch.get((rows, out_dim), np.int64, "shifted")
+                prod = scratch.get((rows, out_dim), np.float64, "prod")
                 for table, shift in zip(self._plane_tables, self._plane_shifts):
                     np.matmul(table[apc], self._w_t, out=prod)
                     shifted[:] = prod  # exact: integers < 2**53
@@ -428,18 +450,18 @@ class TableLayerKernel(LayerKernel):
         for start in range(0, batch, chunk):
             stop = min(batch, start + chunk)
             rows = stop - start
-            limbs = _SCRATCH.get((rows, out_dim * L), np.int64, "limbs")
+            limbs = scratch.get((rows, out_dim * L), np.int64, "limbs")
             if not fast:
                 limbs.fill(0)
             for (i0, i1), block in zip(self._splits, self._blocks):
                 width = i1 - i0
-                staged = _SCRATCH.get(
+                staged = scratch.get(
                     (rows, self._live_planes * width), np.float64, "staged"
                 )
                 staged.reshape(rows, self._live_planes, width)[:] = (
                     self._act_digits[ap[start:stop, i0:i1]].transpose(0, 2, 1)
                 )
-                prod = _SCRATCH.get((rows, out_dim * L), np.float64, "prod")
+                prod = scratch.get((rows, out_dim * L), np.float64, "prod")
                 np.matmul(staged, block, out=prod)
                 if fast:
                     limbs[:] = prod  # exact: every entry is an integer < 2**53
@@ -451,7 +473,7 @@ class TableLayerKernel(LayerKernel):
             if self._word_mode:
                 # Horner-combine the limbs into one int64 word per quire;
                 # every prefix is bounded by the compile-time |quire| bound.
-                words = _SCRATCH.get((rows, out_dim), np.int64, "words")
+                words = scratch.get((rows, out_dim), np.int64, "words")
                 words[:] = limb3[..., L - 1]
                 for k in range(L - 2, -1, -1):
                     words <<= LIMB_BITS

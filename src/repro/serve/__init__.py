@@ -1,0 +1,35 @@
+"""Micro-batching inference service for the exact-MAC stack.
+
+``repro.serve`` turns the offline reproduction into an always-on service:
+a stdlib-only asyncio HTTP server whose per-model micro-batchers coalesce
+concurrent requests into the stacked batches the compiled layer kernels
+are built for, with responses **bit-identical** to calling
+:meth:`repro.core.positron.PositronNetwork.predict` directly.
+
+    python -m repro serve --port 8707 --max-batch 32 --max-delay-ms 2
+
+See ``docs/serving.md`` for the API, the batching knobs, and the
+bit-exactness argument.
+"""
+
+from .batcher import MicroBatcher, ServiceClosed
+from .client import ServeClient, ServeError
+from .registry import ModelRegistry, ServedModel, build_served_model
+from .server import InferenceServer, ServerHandle, serve_forever, start_in_thread
+from .stats import ServeStats, percentile
+
+__all__ = [
+    "MicroBatcher",
+    "ServiceClosed",
+    "ServeClient",
+    "ServeError",
+    "ModelRegistry",
+    "ServedModel",
+    "build_served_model",
+    "InferenceServer",
+    "ServerHandle",
+    "serve_forever",
+    "start_in_thread",
+    "ServeStats",
+    "percentile",
+]

@@ -1,0 +1,204 @@
+"""Micro-batching scheduler: coalesce concurrent requests into one GEMM.
+
+The compiled layer kernels (:mod:`repro.formats.kernels`) amortize to one
+float64 GEMM per layer *per batch* — a batch-1 request pays the whole
+per-call overhead for a single sample.  A :class:`MicroBatcher` turns
+concurrent single requests into kernel-sized batches:
+
+* every served model owns one batcher and one bounded :class:`asyncio.Queue`
+  (backpressure: when the queue is full, ``submit`` waits, which propagates
+  to the HTTP handler and ultimately to TCP);
+* the worker takes the first pending request, then keeps collecting until
+  the stacked batch reaches ``max_batch`` rows or ``max_delay_ms`` elapses
+  since the batch opened — a lone request is flushed at the deadline, a
+  burst fills the batch immediately;
+* the stacked pattern matrix is executed through
+  :meth:`~repro.core.positron.PositronNetwork.predict_patterns` on an
+  executor thread, in slices of at most ``max_batch`` rows (a multi-row
+  request can overflow the batch; the overflow splits into further
+  full-size slices).
+
+**Bit-exactness.** Coalescing cannot change any answer: quantization is
+elementwise (stacking quantized requests equals quantizing the stacked
+batch), every kernel partial sum is an exact integer in float64 so the GEMM
+result is independent of batch composition, and the rank-table argmax is
+per-row.  Served predictions are therefore bit-identical to calling
+``predict`` on each request alone — property-tested under concurrent load
+in ``tests/serve/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .registry import ServedModel
+from .stats import ServeStats
+
+__all__ = ["MicroBatcher", "ServiceClosed"]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by ``submit`` once the batcher has begun shutting down."""
+
+
+@dataclass
+class _Pending:
+    """One enqueued request: quantized patterns plus its result future."""
+
+    patterns: np.ndarray  # (rows, in) uint32
+    rows: int
+    future: asyncio.Future
+    enqueued: float  # loop time, for queue+execute latency
+
+
+_CLOSE = object()  # queue sentinel; FIFO order makes it drain-then-exit
+
+
+class MicroBatcher:
+    """Coalesces requests for **one** served model (models never cross-batch:
+    each model's batcher owns its own queue and worker)."""
+
+    def __init__(
+        self,
+        model: ServedModel,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        queue_limit: int = 256,
+        executor: Executor | None = None,
+        stats: ServeStats | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.model = model
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1000.0
+        self.stats = stats if stats is not None else ServeStats()
+        self._executor = executor
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self._task: asyncio.Task | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker task (requires a running event loop)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def submit(self, patterns: np.ndarray) -> np.ndarray:
+        """Enqueue ``(rows, in)`` input patterns; await the predictions.
+
+        Returns the ``(rows,)`` class predictions for exactly this
+        request's rows.  Waits when the bounded queue is full; raises
+        :class:`ServiceClosed` once shutdown has begun.
+        """
+        if self._closing:
+            raise ServiceClosed(f"batcher for {self.model.key} is shut down")
+        patterns = np.asarray(patterns, dtype=np.uint32)
+        if patterns.ndim != 2:
+            raise ValueError("patterns must be 2-D (rows, features)")
+        loop = asyncio.get_running_loop()
+        self.start()
+        item = _Pending(patterns, patterns.shape[0], loop.create_future(),
+                        loop.time())
+        await self._queue.put(item)
+        return await item.future
+
+    async def close(self) -> None:
+        """Stop accepting requests, drain everything queued, then exit.
+
+        FIFO makes draining trivial: the sentinel is enqueued after the
+        last accepted request, so by the time the worker sees it every
+        pending batch has been executed and answered.
+        """
+        if not self._closing:
+            self._closing = True
+            await self._queue.put(_CLOSE)
+        if self._task is not None:
+            await self._task
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (excludes the in-flight batch)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _CLOSE:
+                return
+            batch = [item]
+            rows = item.rows
+            saw_close = False
+            deadline = loop.time() + self.max_delay
+            while rows < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _CLOSE:
+                    saw_close = True
+                    break
+                batch.append(nxt)
+                rows += nxt.rows
+            await self._execute(batch, loop)
+            if saw_close:
+                return
+
+    async def _execute(self, batch: list[_Pending], loop) -> None:
+        network, cap = self.model.network, self.max_batch
+
+        def run() -> tuple[np.ndarray, list[int]]:
+            # Stacking lives inside the error boundary too: a width
+            # mismatch between coalesced requests (or a MemoryError) must
+            # resolve the futures, never kill the worker task.
+            stacked = (
+                batch[0].patterns
+                if len(batch) == 1
+                else np.vstack([item.patterns for item in batch])
+            )
+            # Slice oversized stacks (multi-row requests can overflow the
+            # batch) so every kernel call sees at most ``max_batch`` rows.
+            sizes, parts = [], []
+            for start in range(0, stacked.shape[0], cap):
+                chunk = stacked[start:start + cap]
+                parts.append(network.predict_patterns(chunk))
+                sizes.append(chunk.shape[0])
+            return np.concatenate(parts), sizes
+
+        try:
+            predictions, sizes = await loop.run_in_executor(
+                self._executor, run
+            )
+        except Exception as exc:  # propagate to every caller in the batch
+            self.stats.record_error()
+            # Mark as counted so the N fan-out deliveries of this one
+            # failure are not re-counted per request by the HTTP handler.
+            exc._repro_counted = True
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for size in sizes:
+            self.stats.record_batch(self.model.key, size)
+        offset = 0
+        now = loop.time()
+        for item in batch:
+            result = predictions[offset:offset + item.rows]
+            offset += item.rows
+            if not item.future.done():  # caller cancelled/timed out: the
+                item.future.set_result(result)  # request was not answered,
+                self.stats.record_request(  # so it must not count as one
+                    item.rows, (now - item.enqueued) * 1000.0
+                )

@@ -1,0 +1,164 @@
+"""Tiny blocking client for the inference service (stdlib sockets only).
+
+One :class:`ServeClient` holds one keep-alive TCP connection and speaks
+just enough HTTP/1.1 for the service: a request is one ``sendall``, a
+response is the header block plus a ``Content-Length`` JSON body.  That
+keeps the client's per-request overhead well under the kernel time being
+amortized — it exists for examples, load tests, and the throughput
+benchmark, not as a general HTTP library.
+
+A client is **not** thread-safe; give each load-generating thread its own
+(as the examples and benchmarks do).
+
+    >>> with ServeClient(port=handle.server.port) as client:
+    ...     client.warmup("wbc", "posit8_1")
+    ...     client.predict("wbc", "posit8_1", test_x[:4])["predictions"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+__all__ = ["ServeClient", "ServeError"]
+
+_HEAD_END = b"\r\n\r\n"
+
+
+class ServeError(RuntimeError):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8707,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = bytearray()
+
+    # -- connection management ------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer.clear()
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._buffer.clear()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- one request/response exchange ----------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        message = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "\r\n"
+        ).encode("latin-1") + body
+        if self._sock is None:
+            self._sock = self._connect()
+            return self._exchange(message)
+        try:
+            return self._exchange(message)
+        except TimeoutError:
+            # The server may still be executing the request (e.g. a slow
+            # first-warmup training run) — re-sending would double the
+            # work, so surface the timeout to the caller instead.
+            self.close()
+            raise
+        except ConnectionError:
+            # Stale keep-alive (server restarted, idle drop): retry once on
+            # a fresh connection.
+            self.close()
+            self._sock = self._connect()
+            return self._exchange(message)
+
+    def _exchange(self, message: bytes):
+        self._sock.sendall(message)
+        head = self._read_until_head_end()
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+                break
+        data = json.loads(self._read_exactly(length)) if length else {}
+        if status != 200:
+            raise ServeError(status, data.get("error", "unknown error"))
+        return data
+
+    def _read_until_head_end(self) -> bytes:
+        while True:
+            index = self._buffer.find(_HEAD_END)
+            if index >= 0:
+                head = bytes(self._buffer[:index])
+                del self._buffer[: index + len(_HEAD_END)]
+                return head
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer.extend(chunk)
+
+    def _read_exactly(self, length: int) -> bytes:
+        while len(self._buffer) < length:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-body")
+            self._buffer.extend(chunk)
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return body
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def models(self) -> dict:
+        return self._request("GET", "/models")
+
+    def warmup(self, dataset: str, format_name: str) -> dict:
+        """Load (or train-and-cache) a model before taking traffic."""
+        return self._request(
+            "POST", "/warmup", {"dataset": dataset, "format": format_name}
+        )
+
+    def predict(self, dataset: str, format_name: str, inputs) -> dict:
+        """Predict classes for ``(rows, features)`` float inputs."""
+        rows = np.asarray(inputs, dtype=np.float64)
+        return self._request(
+            "POST",
+            "/predict",
+            {
+                "dataset": dataset,
+                "format": format_name,
+                "inputs": rows.tolist(),
+            },
+        )

@@ -1,0 +1,446 @@
+"""Always-on inference service over plain ``asyncio.start_server``.
+
+Stdlib-only HTTP/1.1 (no ``http.server``): a connection handler parses
+request line + headers + ``Content-Length`` body, dispatches, and writes a
+JSON response, keeping the connection alive between requests.  Endpoints:
+
+==========================  =================================================
+``GET  /health``            liveness + loaded-model count
+``GET  /models``            loaded models, known datasets, batching knobs
+``POST /warmup``            ``{"dataset", "format"}`` — load/train eagerly
+``POST /predict``           ``{"dataset", "format", "inputs": [[...], ...]}``
+``GET  /stats``             counters, batch-size histogram, p50/p99 latency
+==========================  =================================================
+
+One :class:`~repro.serve.batcher.MicroBatcher` per served model coalesces
+concurrent predict requests into stacked batches (see ``docs/serving.md``);
+blocking work (model loading/training, kernel execution) runs on a small
+thread pool, which the thread-local kernel scratch pools make safe.
+
+Embedding: :func:`start_in_thread` runs a server on a background thread
+with its own event loop — used by ``examples/serve_demo.py``, the load
+tests, and the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .batcher import MicroBatcher, ServiceClosed
+from .registry import ModelRegistry, ServedModel
+from .stats import ServeStats
+
+__all__ = ["InferenceServer", "ServerHandle", "start_in_thread", "serve_forever"]
+
+#: Reject request bodies larger than this (a predict batch of millions of
+#: rows should be sharded by the client, not buffered in one read).
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Bodies above this parse + quantize on the executor instead of the event
+#: loop, so one bulk request cannot stall health checks and coalescing
+#: deadlines for everyone else.  (Quantization is elementwise, so where it
+#: runs cannot change any served bit.)
+_INLINE_BODY_BYTES = 64 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """A handled request failure, rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class InferenceServer:
+    """The service: registry + per-model micro-batchers + HTTP front end."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8707,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        queue_limit: int = 256,
+        executor_workers: int = 2,
+        submit_timeout_s: float = 60.0,
+    ):
+        # Fail at construction, not on the first request: these values are
+        # otherwise only exercised when a batcher is built or a queue fills.
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+        if submit_timeout_s <= 0:
+            raise ValueError("submit_timeout_s must be > 0")
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.queue_limit = queue_limit
+        self.submit_timeout_s = submit_timeout_s
+        self.stats = ServeStats()
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (``port=0`` picks a free
+        port; ``self.port`` is updated to the bound one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, drain every batcher queue, release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._batchers:
+            await asyncio.gather(
+                *(b.close() for b in self._batchers.values())
+            )
+        self._executor.shutdown(wait=True)
+
+    def batcher_for(self, model: ServedModel) -> MicroBatcher:
+        """This model's batcher, created (and started) on first use."""
+        batcher = self._batchers.get(model.key)
+        if batcher is None:
+            batcher = MicroBatcher(
+                model,
+                max_batch=self.max_batch,
+                max_delay_ms=self.max_delay_ms,
+                queue_limit=self.queue_limit,
+                executor=self._executor,
+                stats=self.stats,
+            )
+            batcher.start()
+            self._batchers[model.key] = batcher
+        return batcher
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, {"error": exc.message}, True
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                close_conn = headers.get("connection", "").lower() == "close"
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except ServiceClosed as exc:
+                    status, payload = 503, {"error": str(exc)}
+                except Exception as exc:  # never tear the connection down
+                    # Batch-execution failures were already counted (once
+                    # per batch) by the batcher; don't count them again for
+                    # each of the N coalesced requests they fan out to.
+                    if not getattr(exc, "_repro_counted", False):
+                        self.stats.record_error()
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                await self._write_response(writer, status, payload, close_conn)
+                if close_conn:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            # Abrupt client disconnects (reset mid-read, EPIPE mid-write)
+            # are normal churn, not server errors.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        # One read for the whole head (request line + headers): requests
+        # are small, and a single ``readuntil`` keeps the per-request event
+        # loop work minimal on the hot path.
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between keep-alive requests
+            raise
+        except asyncio.LimitOverrunError:
+            raise _HttpError(400, "header block too large") from None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        for raw in lines[1:]:
+            if raw:
+                name, _, value = raw.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "malformed Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    async def _write_response(writer, status, payload, close_conn) -> None:
+        # ``payload`` may arrive pre-encoded (bulk predict responses are
+        # serialized on the executor to keep the event loop responsive).
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8")
+        )
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close_conn else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if path == "/health":
+            self._require(method, "GET")
+            return 200, {
+                "status": "ok",
+                "models_loaded": len(self.registry.loaded()),
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+            }
+        if path == "/stats":
+            self._require(method, "GET")
+            return 200, self.stats.snapshot()
+        if path == "/models":
+            self._require(method, "GET")
+            return 200, {
+                "loaded": [m.describe() for m in self.registry.loaded()],
+                "batching": {
+                    "max_batch": self.max_batch,
+                    "max_delay_ms": self.max_delay_ms,
+                    "queue_limit": self.queue_limit,
+                },
+            }
+        if path == "/warmup":
+            self._require(method, "POST")
+            model = await self._resolve_model(self._json_body(body))
+            return 200, model.describe()
+        if path == "/predict":
+            self._require(method, "POST")
+            return 200, await self._predict(body)
+        raise _HttpError(404, f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HttpError(400, "body must be a JSON object") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return payload
+
+    async def _resolve_model(self, payload: dict) -> ServedModel:
+        dataset = payload.get("dataset")
+        format_name = payload.get("format")
+        if not isinstance(dataset, str) or not isinstance(format_name, str):
+            raise _HttpError(400, "need string fields 'dataset' and 'format'")
+        try:
+            return await self.registry.get(
+                dataset, format_name, executor=self._executor
+            )
+        except KeyError as exc:
+            raise _HttpError(400, str(exc.args[0])) from None
+
+    @staticmethod
+    def _quantize_inputs(model: ServedModel, payload: dict) -> np.ndarray:
+        raw = payload.get("inputs")
+        if raw is None:
+            raise _HttpError(400, "missing 'inputs'")
+        try:
+            inputs = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise _HttpError(400, "'inputs' must be a numeric array") from None
+        if inputs.ndim == 1:
+            inputs = inputs[None, :]
+        if inputs.ndim != 2 or inputs.shape[0] == 0:
+            raise _HttpError(400, "'inputs' must be (rows, features), rows >= 1")
+        if inputs.shape[1] != model.num_features:
+            raise _HttpError(
+                400,
+                f"{model.dataset} expects {model.num_features} features, "
+                f"got {inputs.shape[1]}",
+            )
+        return model.quantize(inputs)
+
+    async def _predict(self, body: bytes) -> dict:
+        offload = len(body) > _INLINE_BODY_BYTES
+        loop = asyncio.get_running_loop()
+        if offload:
+            payload = await loop.run_in_executor(
+                self._executor, self._json_body, body
+            )
+        else:
+            payload = self._json_body(body)
+        model = await self._resolve_model(payload)
+        if offload:
+            patterns = await loop.run_in_executor(
+                self._executor, self._quantize_inputs, model, payload
+            )
+        else:
+            patterns = self._quantize_inputs(model, payload)
+        batcher = self.batcher_for(model)
+        try:
+            predictions = await asyncio.wait_for(
+                batcher.submit(patterns), self.submit_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.record_rejected()
+            raise _HttpError(503, "prediction queue saturated; retry") from None
+
+        def render():
+            classes = [int(c) for c in predictions]
+            payload = {
+                "dataset": model.dataset,
+                "format": model.format_name,
+                "predictions": classes,
+                "labels": [model.class_names[c] for c in classes],
+            }
+            return json.dumps(payload).encode("utf-8") if offload else payload
+
+        if offload:
+            # Bulk responses (hundreds of thousands of labels + a multi-MB
+            # dumps) are built and serialized off the event loop too.
+            return await loop.run_in_executor(self._executor, render)
+        return render()
+
+
+# ----------------------------------------------------------------------
+# Embedding and CLI entry points
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a background thread, with a blocking ``stop``."""
+
+    def __init__(self, server: InferenceServer, loop, thread, stop_event):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stop_event = stop_event
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.server.host, self.server.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal shutdown (drains batcher queues) and join the thread."""
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_in_thread(**server_kwargs) -> ServerHandle:
+    """Start an :class:`InferenceServer` on a daemon thread; wait until it
+    is accepting connections (``port=0`` resolves to the bound port)."""
+    ready = threading.Event()
+    holder: dict = {}
+
+    async def main() -> None:
+        server = InferenceServer(**server_kwargs)
+        await server.start()
+        stop_event = asyncio.Event()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        holder["stop_event"] = stop_event
+        ready.set()
+        await stop_event.wait()
+        await server.close()
+
+    def run() -> None:
+        try:
+            asyncio.run(main())
+        except Exception as exc:  # surface bind errors to the caller
+            holder["error"] = exc
+            ready.set()
+
+    thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+    thread.start()
+    ready.wait()
+    if "error" in holder:
+        raise holder["error"]
+    return ServerHandle(
+        holder["server"], holder["loop"], thread, holder["stop_event"]
+    )
+
+
+async def serve_forever(warmups=(), **server_kwargs) -> None:
+    """Run a server in the current event loop until cancelled (CLI path).
+
+    ``warmups`` is a sequence of ``(dataset, format_name)`` pairs to load
+    before the listening banner is printed.
+    """
+    server = InferenceServer(**server_kwargs)
+    await server.start()
+    for dataset, format_name in warmups:
+        model = await server.registry.get(
+            dataset, format_name, executor=server._executor
+        )
+        print(f"warmed up {model.key}", file=sys.stderr, flush=True)
+    print(
+        f"repro.serve listening on http://{server.host}:{server.port} "
+        f"(max_batch={server.max_batch}, max_delay_ms={server.max_delay_ms})",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.close()

@@ -1,0 +1,95 @@
+"""Serving counters: requests, batch-size histogram, latency percentiles.
+
+One :class:`ServeStats` instance lives on the server; every micro-batcher
+reports into it.  Everything is O(1) per event — the latency percentiles
+come from a bounded ring of the most recent samples, so ``/stats`` stays
+cheap no matter how long the server has been up.  All mutation happens on
+the event loop (batchers run there), so no locking is needed; the executor
+threads never touch this module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["ServeStats", "percentile"]
+
+#: Latency ring size: enough for stable p99 without unbounded growth.
+_LATENCY_WINDOW = 4096
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by nearest-rank, 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ServeStats:
+    """Aggregate counters for one server (with a per-model breakdown)."""
+
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    errors: int = 0
+    rejected: int = 0  # backpressure: queue-full rejections
+    batch_sizes: Counter = field(default_factory=Counter)
+    per_model: Counter = field(default_factory=Counter)
+    _latencies_ms: list[float] = field(default_factory=list)
+    _latency_pos: int = 0
+
+    # -- event hooks (called by batchers / the request handlers) --------
+    def record_batch(self, model_key: str, size: int) -> None:
+        """One executed micro-batch of ``size`` stacked samples."""
+        self.batches += 1
+        self.batch_sizes[size] += 1
+        self.per_model[model_key] += size
+
+    def record_request(self, samples: int, latency_ms: float) -> None:
+        """One completed predict request (``samples`` rows)."""
+        self.requests += 1
+        self.samples += samples
+        if len(self._latencies_ms) < _LATENCY_WINDOW:
+            self._latencies_ms.append(latency_ms)
+        else:
+            self._latencies_ms[self._latency_pos] = latency_ms
+            self._latency_pos = (self._latency_pos + 1) % _LATENCY_WINDOW
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    def record_rejected(self) -> None:
+        self.rejected += 1
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(self.batch_sizes.values())
+        if not total:
+            return 0.0
+        return sum(s * c for s, c in self.batch_sizes.items()) / total
+
+    def snapshot(self) -> dict:
+        """JSON-ready view served by ``GET /stats``."""
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "batches": self.batches,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "samples_per_model": dict(sorted(self.per_model.items())),
+            "latency_ms": {
+                "p50": round(percentile(self._latencies_ms, 50), 3),
+                "p99": round(percentile(self._latencies_ms, 99), 3),
+                "window": len(self._latencies_ms),
+            },
+        }

@@ -1,0 +1,355 @@
+"""Micro-batching scheduler edge cases (no HTTP involved).
+
+Covers the contract pinned down in ``docs/serving.md``: deadline flush for
+lone requests, ``max_batch`` overflow splitting, per-model batching (no
+cross-batching), bit-identity to direct ``predict`` under concurrent load,
+bounded-queue backpressure, and drain-on-shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import MicroBatcher, ServiceClosed
+from repro.serve.registry import build_served_model
+from repro.serve.stats import ServeStats
+
+from .conftest import tiny_loader
+
+
+def toy_model(dataset="toy", format_name="posit8_1"):
+    return build_served_model(dataset, format_name, tiny_loader)
+
+
+async def _submit_burst(batcher, pattern_rows):
+    """Enqueue every request before the worker wakes, then gather results.
+
+    ``asyncio.gather`` schedules the submit tasks ahead of the worker's
+    queue wake-up callback, so the whole burst is coalesced exactly as if
+    it had arrived while a batch was executing.
+    """
+    return await asyncio.gather(*(batcher.submit(p) for p in pattern_rows))
+
+
+class TestDeadlineFlush:
+    def test_single_request_flushes_at_max_delay(self, toy_inputs):
+        model = toy_model()
+        delay_ms = 80.0
+        x = toy_inputs(1)
+
+        async def scenario():
+            stats = ServeStats()
+            batcher = MicroBatcher(
+                model, max_batch=8, max_delay_ms=delay_ms, stats=stats
+            )
+            loop = asyncio.get_running_loop()
+            patterns = model.quantize(x)
+            start = loop.time()
+            result = await batcher.submit(patterns)
+            elapsed = loop.time() - start
+            await batcher.close()
+            return result, elapsed, stats
+
+        result, elapsed, stats = asyncio.run(scenario())
+        # The lone request waited for batchmates until the deadline, then
+        # flushed as a batch of one.
+        assert elapsed >= 0.5 * delay_ms / 1000.0
+        assert elapsed < 5.0
+        assert dict(stats.batch_sizes) == {1: 1}
+        assert stats.requests == 1 and stats.samples == 1
+        np.testing.assert_array_equal(result, model.network.predict(x))
+
+    def test_zero_delay_still_answers(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_batch=8, max_delay_ms=0.0)
+            result = await batcher.submit(model.quantize(toy_inputs(2)))
+            await batcher.close()
+            return result
+
+        assert asyncio.run(scenario()).shape == (2,)
+
+
+class TestBatchLimits:
+    def test_burst_coalesces_to_max_batch_and_splits_overflow(self, toy_inputs):
+        model = toy_model()
+        stats = ServeStats()
+        inputs = [toy_inputs(1) for _ in range(19)]
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=8, max_delay_ms=10_000.0, stats=stats
+            )
+            submits = [
+                asyncio.ensure_future(
+                    batcher.submit(model.quantize(x))
+                ) for x in inputs
+            ]
+            await asyncio.sleep(0)  # let every submit enqueue
+            await batcher.close()  # sentinel flushes the final partial batch
+            return await asyncio.gather(*submits)
+
+        results = asyncio.run(scenario())
+        # 19 single-row requests at max_batch=8: two full batches + the
+        # remainder flushed by shutdown — never a batch above the cap.
+        assert sum(stats.batch_sizes.values()) == 3
+        assert max(stats.batch_sizes) <= 8
+        assert stats.batch_sizes[8] == 2 and stats.batch_sizes[3] == 1
+        for x, got in zip(inputs, results):
+            np.testing.assert_array_equal(got, model.network.predict(x))
+
+    def test_oversized_request_splits_into_max_batch_slices(self, toy_inputs):
+        model = toy_model()
+        stats = ServeStats()
+        x = toy_inputs(11)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=4, max_delay_ms=1.0, stats=stats
+            )
+            result = await batcher.submit(model.quantize(x))
+            await batcher.close()
+            return result
+
+        result = asyncio.run(scenario())
+        # One 11-row request overflows max_batch=4: the kernel sees slices
+        # of 4, 4, 3 and the caller still gets all 11 rows back in order.
+        assert dict(stats.batch_sizes) == {4: 2, 3: 1}
+        np.testing.assert_array_equal(result, model.network.predict(x))
+
+
+class TestModelIsolation:
+    def test_concurrent_mixed_model_requests_do_not_cross_batch(self, rng):
+        model_a = toy_model("toy")
+        model_b = toy_model("toy2", "float4_3")
+        stats = ServeStats()
+        xs_a = [rng.normal(size=(2, 4)) for _ in range(6)]
+        xs_b = [rng.normal(size=(3, 5)) for _ in range(6)]
+
+        async def scenario():
+            shared = dict(max_batch=8, max_delay_ms=20.0, stats=stats)
+            batcher_a = MicroBatcher(model_a, **shared)
+            batcher_b = MicroBatcher(model_b, **shared)
+            interleaved = []
+            for xa, xb in zip(xs_a, xs_b):
+                interleaved.append(batcher_a.submit(model_a.quantize(xa)))
+                interleaved.append(batcher_b.submit(model_b.quantize(xb)))
+            results = await asyncio.gather(*interleaved)
+            await asyncio.gather(batcher_a.close(), batcher_b.close())
+            return results
+
+        results = asyncio.run(scenario())
+        for i, (xa, xb) in enumerate(zip(xs_a, xs_b)):
+            np.testing.assert_array_equal(
+                results[2 * i], model_a.network.predict(xa)
+            )
+            np.testing.assert_array_equal(
+                results[2 * i + 1], model_b.network.predict(xb)
+            )
+        # Per-model accounting proves no samples crossed queues.
+        assert stats.per_model[model_a.key] == 12
+        assert stats.per_model[model_b.key] == 18
+
+
+_FORMATS = ("posit8_1", "posit6_0", "float4_3", "float3_2", "fixed8_4")
+_MODEL_CACHE: dict[str, object] = {}
+
+
+def _cached_model(format_name):
+    if format_name not in _MODEL_CACHE:
+        _MODEL_CACHE[format_name] = toy_model("toy", format_name)
+    return _MODEL_CACHE[format_name]
+
+
+class TestBitIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        format_name=st.sampled_from(_FORMATS),
+        row_counts=st.lists(st.integers(1, 9), min_size=1, max_size=12),
+        seed=st.integers(0, 2**32 - 1),
+        max_batch=st.integers(1, 6),
+    )
+    def test_served_equals_direct_under_concurrent_load(
+        self, format_name, row_counts, seed, max_batch
+    ):
+        """Property: any coalescing of any request mix changes no bits."""
+        model = _cached_model(format_name)
+        gen = np.random.default_rng(seed)
+        requests = [gen.normal(scale=1.5, size=(rows, 4)) for rows in row_counts]
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=max_batch, max_delay_ms=1.0
+            )
+            results = await _submit_burst(
+                batcher, [model.quantize(x) for x in requests]
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        for x, got in zip(requests, results):
+            np.testing.assert_array_equal(got, model.network.predict(x))
+
+
+class _GatedNetwork:
+    """A stand-in network whose forward blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def predict_patterns(self, patterns):
+        self.calls += 1
+        assert self.release.wait(timeout=30.0)
+        return np.zeros(patterns.shape[0], dtype=np.int64)
+
+
+class TestBackpressure:
+    def test_bounded_queue_blocks_submitters_until_capacity_frees(self):
+        network = _GatedNetwork()
+        model = SimpleNamespace(key="toy/stub", network=network)
+        patterns = np.zeros((1, 4), dtype=np.uint32)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=1, max_delay_ms=0.0, queue_limit=2
+            )
+            submits = [
+                asyncio.ensure_future(batcher.submit(patterns))
+                for _ in range(6)
+            ]
+            # Let the worker pick up the first request (it blocks in the
+            # gated forward); the queue can then hold only queue_limit more.
+            for _ in range(10):
+                await asyncio.sleep(0.01)
+            assert batcher.pending <= 2
+            blocked = [s for s in submits if not s.done()]
+            assert len(blocked) == 6  # nothing answered while gated
+            network.release.set()
+            results = await asyncio.gather(*submits)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(r.shape == (1,) for r in results)
+        assert network.calls == 6  # max_batch=1: every request its own batch
+
+
+class TestShutdown:
+    def test_close_drains_pending_queue(self, toy_inputs):
+        model = toy_model()
+        stats = ServeStats()
+        inputs = [toy_inputs(1) for _ in range(7)]
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=100, max_delay_ms=10_000.0, stats=stats
+            )
+            submits = [
+                asyncio.ensure_future(batcher.submit(model.quantize(x)))
+                for x in inputs
+            ]
+            await asyncio.sleep(0)
+            await batcher.close()  # must flush the never-full batch
+            results = await asyncio.gather(*submits)
+            assert batcher.pending == 0
+            with pytest.raises(ServiceClosed):
+                await batcher.submit(model.quantize(inputs[0]))
+            return results
+
+        results = asyncio.run(scenario())
+        assert stats.requests == 7
+        for x, got in zip(inputs, results):
+            np.testing.assert_array_equal(got, model.network.predict(x))
+
+    def test_close_is_idempotent(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_delay_ms=1.0)
+            await batcher.submit(model.quantize(toy_inputs(1)))
+            await batcher.close()
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        model = toy_model()
+        with pytest.raises(ValueError):
+            MicroBatcher(model, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(model, max_delay_ms=-1.0)
+
+    def test_rejects_non_2d_patterns(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_delay_ms=1.0)
+            with pytest.raises(ValueError):
+                await batcher.submit(np.zeros(4, dtype=np.uint32))
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_mismatched_width_batch_fails_cleanly_and_batcher_survives(
+        self, toy_inputs
+    ):
+        """Coalescing requests of different widths must resolve every
+        future with the error — never kill the worker task."""
+        model = toy_model()
+        good = model.quantize(toy_inputs(1))  # (1, 4)
+        bad = np.zeros((1, 5), dtype=np.uint32)  # wrong fan-in
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_batch=8, max_delay_ms=50.0)
+            mixed = await asyncio.gather(
+                batcher.submit(good), batcher.submit(bad),
+                return_exceptions=True,
+            )
+            # The batcher is still alive and serves correct requests.
+            ok = await batcher.submit(good)
+            await batcher.close()
+            return mixed, ok
+
+        mixed, ok = asyncio.run(scenario())
+        assert any(isinstance(m, Exception) for m in mixed)
+        np.testing.assert_array_equal(
+            ok, model.network.predict_patterns(good)
+        )
+
+    def test_executor_failure_propagates_to_all_waiters(self):
+        class ExplodingNetwork:
+            def predict_patterns(self, patterns):
+                raise RuntimeError("kernel exploded")
+
+        model = SimpleNamespace(key="toy/boom", network=ExplodingNetwork())
+        stats = ServeStats()
+        patterns = np.zeros((1, 4), dtype=np.uint32)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=4, max_delay_ms=50.0, stats=stats
+            )
+            submits = [
+                asyncio.ensure_future(batcher.submit(patterns))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            gathered = await asyncio.gather(*submits, return_exceptions=True)
+            await batcher.close()
+            return gathered
+
+        outcomes = asyncio.run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert stats.errors >= 1

@@ -1,0 +1,241 @@
+"""End-to-end service tests: HTTP front end, registry, batching, stats.
+
+A real server runs on a background thread (ephemeral port) with the tiny
+synthetic-model loader injected, and the blocking ``ServeClient`` drives
+it — the same embedding the example and the throughput benchmark use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ModelRegistry,
+    ServeClient,
+    ServeError,
+    start_in_thread,
+)
+from repro.serve.registry import build_served_model
+
+from .conftest import tiny_loader
+
+
+@pytest.fixture(scope="module")
+def handle():
+    registry = ModelRegistry(loader=tiny_loader)
+    server = start_in_thread(
+        registry=registry, port=0, max_batch=8, max_delay_ms=5.0
+    )
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(handle):
+    with ServeClient(port=handle.server.port) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        body = client.health()
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+
+    def test_warmup_then_models_lists_it(self, client):
+        described = client.warmup("toy", "posit8_1")
+        assert described["topology"] == [4, 6, 3]
+        assert described["classes"] == ["setosa", "versicolor", "virginica"]
+        listing = client.models()
+        keys = {(m["dataset"], m["format"]) for m in listing["loaded"]}
+        assert ("toy", "posit8_1") in keys
+        assert listing["batching"]["max_batch"] == 8
+
+    def test_format_name_is_canonicalized(self, client):
+        # Label spelling and registry spelling resolve to one served model.
+        a = client.warmup("toy", "posit<8,1>")
+        b = client.warmup("toy", "posit8_1")
+        assert a["format"] == b["format"] == "posit8_1"
+
+    def test_predict_matches_direct_network(self, client, rng):
+        x = rng.normal(size=(6, 4))
+        body = client.predict("toy", "posit8_1", x)
+        direct = build_served_model("toy", "posit8_1", tiny_loader)
+        expected = direct.network.predict(x)
+        assert body["predictions"] == expected.tolist()
+        assert body["labels"] == [
+            direct.class_names[c] for c in expected
+        ]
+
+    def test_predict_single_sample_1d(self, client, rng):
+        body = client.predict("toy", "posit8_1", rng.normal(size=4))
+        assert len(body["predictions"]) == 1
+
+    def test_stats_surface(self, client, rng):
+        client.predict("toy", "posit8_1", rng.normal(size=(3, 4)))
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["samples"] >= 3
+        hist = {int(k): v for k, v in stats["batch_size_histogram"].items()}
+        assert sum(k * v for k, v in hist.items()) == stats["samples"]
+        assert set(stats["latency_ms"]) == {"p50", "p99", "window"}
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+
+
+class TestErrorPaths:
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/health", {})
+        assert err.value.status == 405
+
+    def test_unknown_dataset_400(self, client, rng):
+        with pytest.raises(ServeError) as err:
+            client.predict("nope", "posit8_1", rng.normal(size=(1, 4)))
+        assert err.value.status == 400
+        assert "nope" in err.value.message
+
+    def test_unknown_format_400(self, client, rng):
+        with pytest.raises(ServeError) as err:
+            client.predict("toy", "posit99_99", rng.normal(size=(1, 4)))
+        assert err.value.status == 400
+
+    def test_feature_mismatch_400(self, client, rng):
+        with pytest.raises(ServeError) as err:
+            client.predict("toy", "posit8_1", rng.normal(size=(1, 7)))
+        assert err.value.status == 400
+        assert "expects 4 features" in err.value.message
+
+    def test_missing_inputs_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request(
+                "POST", "/predict", {"dataset": "toy", "format": "posit8_1"}
+            )
+        assert err.value.status == 400
+
+    def test_non_numeric_inputs_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request(
+                "POST",
+                "/predict",
+                {"dataset": "toy", "format": "posit8_1", "inputs": ["x"]},
+            )
+        assert err.value.status == 400
+
+    @pytest.mark.parametrize("length", ["abc", "-5"])
+    def test_malformed_content_length_gets_400(self, handle, length):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", handle.server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                f"GET /health HTTP/1.1\r\nContent-Length: {length}\r\n\r\n"
+                .encode()
+            )
+            response = sock.recv(65536).decode()
+        assert response.startswith("HTTP/1.1 400")
+        assert "Content-Length" in response
+
+    def test_malformed_json_400(self, handle):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", handle.server.port, timeout=10
+        )
+        try:
+            conn.request(
+                "POST", "/predict", body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay_ms": -1.0},
+            {"queue_limit": 0},
+            {"executor_workers": 0},
+            {"submit_timeout_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected_at_startup(self, kwargs):
+        from repro.serve import InferenceServer
+
+        with pytest.raises(ValueError):
+            InferenceServer(**kwargs)
+
+
+class TestConcurrentLoad:
+    def test_threaded_clients_get_bit_identical_answers(self, handle, rng):
+        direct = build_served_model("toy", "posit8_1", tiny_loader)
+        num_threads, per_thread = 8, 5
+        requests = [
+            [rng.normal(size=(rng.integers(1, 5), 4)) for _ in range(per_thread)]
+            for _ in range(num_threads)
+        ]
+        barrier = threading.Barrier(num_threads)
+        failures: list[str] = []
+
+        def worker(batches):
+            with ServeClient(port=handle.server.port) as c:
+                barrier.wait()
+                for x in batches:
+                    got = c.predict("toy", "posit8_1", x)["predictions"]
+                    want = direct.network.predict(x).tolist()
+                    if got != want:
+                        failures.append(f"{got} != {want}")
+
+        threads = [
+            threading.Thread(target=worker, args=(r,)) for r in requests
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+
+    def test_concurrent_bursts_actually_coalesce(self, handle, rng):
+        """The burst must produce at least one multi-request batch."""
+        before = ServeClient(port=handle.server.port)
+        baseline = before.stats()["batch_size_histogram"]
+        before.close()
+
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+
+        def worker():
+            with ServeClient(port=handle.server.port) as c:
+                barrier.wait()
+                for _ in range(4):
+                    c.predict("toy", "posit8_1", [[0.1, -0.2, 0.3, 0.4]])
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        with ServeClient(port=handle.server.port) as c:
+            after = c.stats()["batch_size_histogram"]
+        grew = {
+            int(size): count - baseline.get(size, 0)
+            for size, count in after.items()
+            if count != baseline.get(size, 0)
+        }
+        assert max(grew) > 1, f"no coalescing observed: {grew}"

@@ -42,6 +42,12 @@ class TestExamples:
         assert "Fig. 6" in out and "Fig. 8" in out
         assert "quire width (eq. 4)" in out
 
+    def test_serve_demo(self, capsys):
+        out = run_example("serve_demo.py", capsys)
+        assert "batch-size histogram" in out
+        assert "0 mismatches vs direct predict" in out
+        assert "warmed up iris/posit8_1" in out
+
     @pytest.mark.slow
     def test_iris_inference(self, capsys):
         out = run_example("iris_inference.py", capsys)
