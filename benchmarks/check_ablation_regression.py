@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI regression guard for the vectorized truncated-EMAC ablation.
+
+Reads a ``pytest-benchmark`` JSON produced by ``bench_ablation_rounding.py``
+and computes the speedup of the compiled-kernel (rtz) truncated pass over
+the retained scalar ``Fraction`` reference on the full WBC test set (both
+measured in the *same* run, so the ratio is machine-independent).  Fails
+when the speedup drops below the acceptance floor or more than 50% under
+the committed baseline entry.
+
+Usage::
+
+    python benchmarks/check_ablation_regression.py BENCH_ablation.json \
+        [benchmarks/ablation_baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Acceptance floor: the vectorized truncated ablation must stay >= 100x
+#: the scalar reference (the PR's acceptance criterion).
+SPEEDUP_FLOOR = 100.0
+
+#: Allowed fraction of the committed baseline speedup.  Python-loop vs
+#: BLAS ratios swing more across machines than kernel-vs-kernel ratios,
+#: so the drop tolerance is wider than the engine guard's.
+BASELINE_FRACTION = 0.5
+
+VECTORIZED = "test_truncated_vectorized_wbc"
+REFERENCE = "test_truncated_reference_wbc"
+
+
+def mean_seconds(report: dict, name: str) -> float:
+    for bench in report["benchmarks"]:
+        if bench["name"] == name:
+            return float(bench["stats"]["mean"])
+    raise SystemExit(f"benchmark entry '{name}' missing from the report")
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    report = json.loads(Path(argv[1]).read_text())
+    baseline_path = Path(
+        argv[2] if len(argv) == 3 else Path(__file__).parent / "ablation_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+
+    speedup = mean_seconds(report, REFERENCE) / mean_seconds(report, VECTORIZED)
+    committed = float(baseline["truncated_speedup"])
+    required = max(SPEEDUP_FLOOR, BASELINE_FRACTION * committed)
+    print(
+        f"truncated-EMAC ablation speedup: {speedup:.1f}x "
+        f"(committed baseline {committed:.1f}x, required >= {required:.1f}x)"
+    )
+    if speedup < required:
+        print("FAIL: vectorized ablation throughput regressed", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

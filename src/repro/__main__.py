@@ -26,6 +26,7 @@ content-addressed artifact cache (interrupt it; rerunning resumes)::
     python -m repro run table2 --jobs 4    # Table II, 4 worker processes
     python -m repro run fig9 --jobs 4      # Fig. 9, all widths
     python -m repro run sweep --jobs 4 --datasets iris,wbc --widths 5,8
+    python -m repro run ablation --jobs 4  # rounding-mode ablation grid
     python -m repro run table2 --no-cache  # bypass the artifact cache
 
 The micro-batching inference service answers concurrent predict requests
@@ -183,8 +184,10 @@ def _run(args: list[str]) -> str:
     from .analysis import (
         DEFAULT_DATASETS,
         DEFAULT_WIDTHS,
+        render_ablation,
         render_figure9,
         render_table2,
+        run_ablation,
         run_fig9,
         run_sweeps,
         run_table2,
@@ -194,7 +197,7 @@ def _run(args: list[str]) -> str:
         prog="python -m repro run",
         description="Parallel, resumable experiment runner.",
     )
-    parser.add_argument("target", choices=("table2", "fig9", "sweep"))
+    parser.add_argument("target", choices=("table2", "fig9", "sweep", "ablation"))
     parser.add_argument(
         "--jobs", "-j", type=int, default=1,
         help="worker processes (0 = all cores; 1 = serial, the default)",
@@ -209,7 +212,7 @@ def _run(args: list[str]) -> str:
     )
     parser.add_argument(
         "--widths", default=None,
-        help="comma-separated bit widths (run sweep/fig9 only; default 5-8)",
+        help="comma-separated bit widths (sweep/fig9/ablation; default 5-8)",
     )
     ns = parser.parse_args(args)
 
@@ -236,6 +239,9 @@ def _run(args: list[str]) -> str:
         return render_figure9(
             run_fig9(widths, datasets, jobs=jobs, progress=progress)
         )
+    if ns.target == "ablation":
+        results = run_ablation(datasets, widths, jobs=jobs, progress=progress)
+        return render_ablation(list(results.values()))
     sweeps = run_sweeps(datasets, widths, jobs=jobs, progress=progress)
     lines = []
     for task, sweep in sweeps.items():

@@ -15,6 +15,7 @@ __all__ = [
     "render_series",
     "render_histogram",
     "render_figure9",
+    "render_ablation",
     "ascii_bar",
 ]
 
@@ -49,6 +50,30 @@ def render_table2(rows: list[dict]) -> str:
             for row in rows
         )
     )
+    return "\n".join(lines)
+
+
+def render_ablation(results: list[dict]) -> str:
+    """Rounding-mode ablation table: exact vs naive MAC vs truncated EMAC.
+
+    One line per (dataset, width, config) cell; the deltas are the paper's
+    Section III-A claims made quantitative (positive = the EMAC choice
+    helps).
+    """
+    lines = [
+        "Ablation: exact round-once EMAC vs round-every-MAC vs truncated EMAC",
+        f"{'dataset':<10} {'config':<14} {'exact':>8} {'naive':>8} "
+        f"{'trunc':>8} {'d-naive':>8} {'d-trunc':>8}",
+    ]
+    for cell in results:
+        for row in cell["rows"]:
+            lines.append(
+                f"{cell['dataset']:<10} {row['label']:<14} "
+                f"{100 * row['exact']:>7.2f}% {100 * row['naive']:>7.2f}% "
+                f"{100 * row['truncated']:>7.2f}% "
+                f"{100 * (row['exact'] - row['naive']):>7.2f}p "
+                f"{100 * (row['exact'] - row['truncated']):>7.2f}p"
+            )
     return "\n".join(lines)
 
 

@@ -1,12 +1,14 @@
-"""Process-parallel, resumable executor for the Table II / Fig. 9 sweeps.
+"""Process-parallel, resumable executor for the sweep and ablation grids.
 
 The paper's headline artifacts are full sweeps over dataset × width ×
 format-config.  :func:`run_sweeps` fans the (dataset, width) task grid out
 over a ``ProcessPoolExecutor``; each task evaluates all candidate configs
 of its width batched through one engine pass per config
 (:func:`~repro.analysis.sweep.evaluate_configs_batch`) and persists its
-result individually in the content-addressed artifact store.  Two
-consequences:
+result individually in the content-addressed artifact store.
+:func:`run_ablation` runs the Section III-A rounding-mode ablation grid
+(:func:`~repro.analysis.ablation.ablation_width` cells) through the same
+executor.  Two consequences:
 
 * **Resumability** — an interrupted run leaves every finished task's
   artifact behind; the next invocation loads those and only submits the
@@ -20,8 +22,8 @@ consequences:
 With ``REPRO_NO_CACHE=1`` the store is bypassed: workers return results
 over the pipe only, and each worker trains its own parent model.
 
-CLI: ``python -m repro run table2|fig9|sweep --jobs N``.  The full guide —
-phases, resume semantics, environment variables — is
+CLI: ``python -m repro run table2|fig9|sweep|ablation --jobs N``.  The
+full guide — phases, resume semantics, environment variables — is
 ``docs/running-experiments.md``.
 """
 
@@ -31,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from .ablation import ABLATION_WIDTHS, ablation_task_key, ablation_width
 from .store import artifact_store, store_enabled
 from .sweep import (
     EXPERIMENTS,
@@ -50,6 +53,7 @@ __all__ = [
     "run_sweeps",
     "run_table2",
     "run_fig9",
+    "run_ablation",
 ]
 
 DEFAULT_DATASETS: tuple[str, ...] = ("wbc", "iris", "mushroom")
@@ -92,32 +96,36 @@ def _sweep_worker(task: SweepTask) -> tuple[SweepTask, dict]:
     return task, sweep_width(task.dataset, task.width)
 
 
+def _ablation_worker(task: SweepTask) -> tuple[SweepTask, dict]:
+    """Run one ablation task; the result is also persisted to the store."""
+    return task, ablation_width(task.dataset, task.width)
+
+
 def _noop(_: str) -> None:
     return None
 
 
-def run_sweeps(
-    datasets: Sequence[str] = DEFAULT_DATASETS,
-    widths: Sequence[int] = DEFAULT_WIDTHS,
-    jobs: int = 1,
-    progress: Progress | None = None,
+def _run_grid(
+    tasks: list[SweepTask],
+    evaluate: Callable[[str, int], dict],
+    task_key: Callable[[str, int], str],
+    worker: Callable[[SweepTask], tuple[SweepTask, dict]],
+    jobs: int,
+    progress: Progress,
 ) -> dict[SweepTask, dict]:
-    """Execute the sweep grid, parallel over tasks, resuming from the store.
+    """Shared grid executor: store-resumed, pre-trained, process-parallel.
 
-    Returns ``{task: sweep_result}`` for every task in the grid, in plan
-    order.  ``jobs <= 1`` runs serially in-process (the reference path);
-    ``jobs > 1`` fans pending tasks out over worker processes after a
-    pre-training phase that guarantees each parent model is trained exactly
-    once and then *loaded* by every task that needs it.
+    ``evaluate`` is the serial in-process path, ``task_key`` the store key
+    of one task's artifact (resume granularity), ``worker`` the picklable
+    process-pool entry point.  Sweeps and ablations differ only in those
+    three ingredients.
     """
-    progress = progress or _noop
-    tasks = plan_tasks(datasets, widths)
     total = len(tasks)
     results: dict[SweepTask, dict] = {}
 
     if jobs <= 1:
         for i, task in enumerate(tasks, 1):
-            results[task] = sweep_width(task.dataset, task.width)
+            results[task] = evaluate(task.dataset, task.width)
             progress(f"[{i}/{total}] {task.dataset} n={task.width} done")
         return results
 
@@ -125,7 +133,7 @@ def run_sweeps(
     if store_enabled():
         store = artifact_store()
         for task in tasks:
-            cached = store.load_result(sweep_task_key(task.dataset, task.width))
+            cached = store.load_result(task_key(task.dataset, task.width))
             if cached is not None:
                 results[task] = cached
                 progress(
@@ -154,12 +162,10 @@ def run_sweeps(
                     for name in pool.map(_train_worker, missing):
                         progress(f"trained parent model: {name}")
 
-        # Phase 2: fan the pending sweep tasks out.
+        # Phase 2: fan the pending tasks out.
         done_count = len(results)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_sweep_worker, task): task for task in pending
-            }
+            futures = {pool.submit(worker, task): task for task in pending}
             outstanding = set(futures)
             while outstanding:
                 finished, outstanding = wait(
@@ -175,6 +181,53 @@ def run_sweeps(
                     )
 
     return {task: results[task] for task in tasks}
+
+
+def run_sweeps(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    jobs: int = 1,
+    progress: Progress | None = None,
+) -> dict[SweepTask, dict]:
+    """Execute the sweep grid, parallel over tasks, resuming from the store.
+
+    Returns ``{task: sweep_result}`` for every task in the grid, in plan
+    order.  ``jobs <= 1`` runs serially in-process (the reference path);
+    ``jobs > 1`` fans pending tasks out over worker processes after a
+    pre-training phase that guarantees each parent model is trained exactly
+    once and then *loaded* by every task that needs it.
+    """
+    return _run_grid(
+        plan_tasks(datasets, widths),
+        sweep_width,
+        sweep_task_key,
+        _sweep_worker,
+        jobs,
+        progress or _noop,
+    )
+
+
+def run_ablation(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    widths: Sequence[int] = ABLATION_WIDTHS,
+    jobs: int = 1,
+    progress: Progress | None = None,
+) -> dict[SweepTask, dict]:
+    """Execute the rounding-mode ablation grid through the task runner.
+
+    Same fan-out, store-cached resume, and pre-training phase as
+    :func:`run_sweeps`; each task is one
+    :func:`~repro.analysis.ablation.ablation_width` cell (exact vs naive
+    vs truncated accuracy for every posit candidate at that width).
+    """
+    return _run_grid(
+        plan_tasks(datasets, widths),
+        ablation_width,
+        ablation_task_key,
+        _ablation_worker,
+        jobs,
+        progress or _noop,
+    )
 
 
 def run_table2(

@@ -62,6 +62,11 @@ class PositronLayer:
         ``"relu"`` for hidden layers, ``"identity"`` for the readout.
     engine:
         The vectorized EMAC engine (shared across layers of one network).
+    rounding_mode:
+        Round-once output stage of every EMAC in the layer: ``"rne"``
+        (default) or ``"rtz"`` (round toward zero, the truncated-EMAC
+        ablation).  Change it and call :meth:`recompile` to re-target the
+        compiled kernel.
     """
 
     fmt: object
@@ -69,6 +74,7 @@ class PositronLayer:
     bias: np.ndarray
     activation: Activation
     engine: VectorEngine
+    rounding_mode: str = "rne"
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.uint32)
@@ -87,10 +93,12 @@ class PositronLayer:
         Parameters are compiled once here — gathering weight digits,
         pruning dead planes, stacking the digit-plane GEMM, precomputing
         bias limbs — and every :meth:`forward` reuses the kernel.  Call
-        again after mutating ``weights``/``bias`` in place.
+        again after mutating ``weights``/``bias``/``rounding_mode`` in
+        place.
         """
+        formats.check_rounding_mode(self.rounding_mode)
         self._kernel = formats.backend_for(self.fmt).compile_layer(
-            self.weights, self.bias
+            self.weights, self.bias, rounding_mode=self.rounding_mode
         )
 
     @property
@@ -142,7 +150,12 @@ class PositronNetwork:
     :meth:`from_float_params` (trained float parameters, quantized here).
     """
 
-    def __init__(self, fmt, layers: Sequence[PositronLayer]):
+    def __init__(
+        self,
+        fmt,
+        layers: Sequence[PositronLayer],
+        rounding_mode: str | None = None,
+    ):
         if not layers:
             raise ValueError("network needs at least one layer")
         for first, second in zip(layers, layers[1:]):
@@ -154,6 +167,20 @@ class PositronNetwork:
         self.fmt = fmt
         self.layers = list(layers)
         self.engine = layers[0].engine
+        modes = {layer.rounding_mode for layer in self.layers}
+        if rounding_mode is not None:
+            formats.check_rounding_mode(rounding_mode)
+            modes.add(rounding_mode)
+        if len(modes) != 1:
+            # Never silently recompile caller-owned layers: a mismatch is
+            # the caller's to resolve (build the layers with the mode, or
+            # use with_rounding_mode on a finished network).
+            raise ValueError(
+                f"inconsistent rounding modes {sorted(modes)}; construct "
+                "layers with the desired mode or use with_rounding_mode()"
+            )
+        self.rounding_mode = modes.pop()
+        self._mode_twins: dict[str, "PositronNetwork"] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -163,6 +190,7 @@ class PositronNetwork:
         weight_arrays: Sequence[np.ndarray],
         bias_arrays: Sequence[np.ndarray],
         engine: VectorEngine | None = None,
+        rounding_mode: str = "rne",
     ) -> "PositronNetwork":
         """Assemble from pattern arrays; last layer gets identity activation."""
         if len(weight_arrays) != len(bias_arrays):
@@ -172,7 +200,9 @@ class PositronNetwork:
         last = len(weight_arrays) - 1
         for i, (w, b) in enumerate(zip(weight_arrays, bias_arrays)):
             activation = "identity" if i == last else "relu"
-            layers.append(PositronLayer(fmt, w, b, activation, engine))
+            layers.append(
+                PositronLayer(fmt, w, b, activation, engine, rounding_mode)
+            )
         return cls(fmt, layers)
 
     @classmethod
@@ -181,12 +211,49 @@ class PositronNetwork:
         fmt,
         weight_arrays: Sequence[np.ndarray],
         bias_arrays: Sequence[np.ndarray],
+        rounding_mode: str = "rne",
     ) -> "PositronNetwork":
         """Quantize trained float parameters into a Deep Positron network."""
         engine = engine_for(fmt)
         weights = [engine.quantize(np.asarray(w)) for w in weight_arrays]
         biases = [engine.quantize(np.asarray(b)) for b in bias_arrays]
-        return cls.from_arrays(fmt, weights, biases, engine=engine)
+        return cls.from_arrays(
+            fmt, weights, biases, engine=engine, rounding_mode=rounding_mode
+        )
+
+    def with_rounding_mode(self, rounding_mode: str) -> "PositronNetwork":
+        """A sibling network on the *same* pattern arrays, re-rounded.
+
+        The twin shares weight/bias arrays and the memoized engine; only
+        the compiled kernels differ (their round-once output stage).  The
+        rounding-mode ablations use this to deploy one quantized model
+        under both modes without re-quantizing.  Twins are cached per mode
+        so repeated ablation passes compile once; like ``recompile()``,
+        mutating parameter arrays in place afterwards requires recompiling
+        the twin's layers too.
+        """
+        formats.check_rounding_mode(rounding_mode)
+        if rounding_mode == self.rounding_mode:
+            return self
+        twin = self._mode_twins.get(rounding_mode)
+        if twin is None:
+            layers = [
+                PositronLayer(
+                    self.fmt,
+                    layer.weights,
+                    layer.bias,
+                    layer.activation,
+                    layer.engine,
+                    rounding_mode,
+                )
+                for layer in self.layers
+            ]
+            twin = self._mode_twins[rounding_mode] = type(self)(
+                self.fmt, layers
+            )
+            # Seed the back-link so mode round-trips are free.
+            twin._mode_twins[self.rounding_mode] = self
+        return twin
 
     # ------------------------------------------------------------------
     @property

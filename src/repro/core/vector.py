@@ -76,14 +76,23 @@ class VectorEngine(ABC):
         weights: np.ndarray,
         activations: np.ndarray,
         bias: np.ndarray | None = None,
+        *,
+        rounding_mode: str = "rne",
     ) -> np.ndarray:
-        """(out, in) weights x (batch, in) activations -> (batch, out)."""
+        """(out, in) weights x (batch, in) activations -> (batch, out).
+
+        ``rounding_mode`` selects the round-once output stage: ``"rne"``
+        (default) or ``"rtz"`` (round toward zero, the truncated-EMAC
+        ablation).
+        """
 
     def dot_reference(
         self,
         weights: np.ndarray,
         activations: np.ndarray,
         bias: np.ndarray | None = None,
+        *,
+        rounding_mode: str = "rne",
     ) -> np.ndarray:
         """Reference (pre-compiled-kernel) dot path; defaults to ``dot``.
 
@@ -91,7 +100,7 @@ class VectorEngine(ABC):
         nest so bit-identity tests and the throughput benchmark keep an
         in-tree baseline to compare the compiled kernels against.
         """
-        return self.dot(weights, activations, bias)
+        return self.dot(weights, activations, bias, rounding_mode=rounding_mode)
 
     @abstractmethod
     def relu(self, patterns: np.ndarray) -> np.ndarray:
@@ -135,7 +144,7 @@ class FixedVectorEngine(VectorEngine):
         """Input width ``n``."""
         return self.fmt.n
 
-    def dot(self, weights, activations, bias=None):
+    def dot(self, weights, activations, bias=None, *, rounding_mode="rne"):
         """Accumulate exactly in int64, then shift-truncate-clip."""
         weights = np.asarray(weights, dtype=np.uint32)
         activations = np.asarray(activations, dtype=np.uint32)
@@ -146,7 +155,9 @@ class FixedVectorEngine(VectorEngine):
         if bias is not None:
             b = fx.signed_array(self.fmt, np.asarray(bias, dtype=np.uint32))
             acc = acc + (b << self.fmt.q)[None, :]
-        out = acc >> self.fmt.q  # arithmetic shift = floor, as in the paper
+        # floor for "rne" (the paper's Fig. 3 stage), magnitude-floor for
+        # "rtz" — one shared definition across backend/engine/kernel.
+        out = formats.arithmetic_shift_round(acc, self.fmt.q, rounding_mode)
         out = np.clip(out, self.fmt.int_min, self.fmt.int_max)
         return (out & self.fmt.mask).astype(np.uint32)
 
@@ -203,7 +214,7 @@ class TableVectorEngine(VectorEngine):
             raise ValueError(f"{what} contains NaR/reserved patterns")
         return p
 
-    def dot(self, weights, activations, bias=None):
+    def dot(self, weights, activations, bias=None, *, rounding_mode="rne"):
         """Exact round-once dot products via a one-shot compiled kernel.
 
         Compiles ``(weights, bias)`` into a stacked digit-plane GEMM kernel
@@ -213,13 +224,17 @@ class TableVectorEngine(VectorEngine):
         ``backend.compile_layer`` instead.
         """
         kernel = self.backend.compile_layer(
-            weights, bias, chunk_elements=_CHUNK_ELEMENTS
+            weights,
+            bias,
+            chunk_elements=_CHUNK_ELEMENTS,
+            rounding_mode=rounding_mode,
         )
         return kernel(np.asarray(activations, dtype=np.uint32))
 
-    def dot_reference(self, weights, activations, bias=None):
+    def dot_reference(self, weights, activations, bias=None, *, rounding_mode="rne"):
         """The PR 1 digit-plane-nest path, retained as the in-tree baseline
         for kernel bit-identity tests and the throughput benchmark."""
+        formats.check_rounding_mode(rounding_mode)
         weights = np.asarray(weights, dtype=np.uint32)
         activations = np.asarray(activations, dtype=np.uint32)
         _validate_shapes(weights, activations, bias)
@@ -262,7 +277,9 @@ class TableVectorEngine(VectorEngine):
                 limbs += limbs_f.astype(np.int64)
             if bias_limbs is not None:
                 limbs += bias_limbs[None, :, :]
-            out[start:stop] = self.backend.encode_from_quire_batch(limbs)
+            out[start:stop] = self.backend.encode_from_quire_batch(
+                limbs, mode=rounding_mode
+            )
         return out
 
     def _bias_limbs(self, bias, out_dim: int) -> np.ndarray | None:

@@ -28,9 +28,13 @@ from .kernels import (
 )
 from .quire import (
     LIMB_BITS,
+    ROUNDING_MODES,
     NormalizedQuire,
+    arithmetic_shift_round,
     bit_length_int64,
+    check_rounding_mode,
     normalize_quire_limbs,
+    round_kept_bits,
     words_as_quire,
 )
 from .registry import (
@@ -57,8 +61,12 @@ __all__ = [
     "digit_planes",
     "clear_scratch",
     "LIMB_BITS",
+    "ROUNDING_MODES",
     "NormalizedQuire",
+    "arithmetic_shift_round",
+    "check_rounding_mode",
     "normalize_quire_limbs",
+    "round_kept_bits",
     "words_as_quire",
     "bit_length_int64",
     "FormatFamily",

@@ -98,21 +98,30 @@ class NumericFormat(ABC):
         """Decode tables for the limb engine; ``None`` if not table-driven."""
         return None
 
-    def compile_layer(self, weights, bias=None, *, chunk_elements=None):
+    def compile_layer(
+        self, weights, bias=None, *, chunk_elements=None, rounding_mode="rne"
+    ):
         """Compile ``(weights, bias)`` into a reusable :class:`LayerKernel`.
 
         Table-driven formats get the stacked digit-plane GEMM kernel (see
         :mod:`repro.formats.kernels`); families without limb tables fall
         back to a kernel that defers to their engine's ``dot`` — override
         for a format-specific compiled path (fixed point does).
+        ``rounding_mode`` selects the round-once output stage: ``"rne"``
+        (default) or ``"rtz"`` (round toward zero, the truncated-EMAC
+        ablation) — carried through every kernel fast path.
         """
         from .kernels import DotLayerKernel, TableLayerKernel
 
         if self.limb_tables() is not None:
             return TableLayerKernel(
-                self, weights, bias, chunk_elements=chunk_elements
+                self,
+                weights,
+                bias,
+                chunk_elements=chunk_elements,
+                rounding_mode=rounding_mode,
             )
-        return DotLayerKernel(self, weights, bias)
+        return DotLayerKernel(self, weights, bias, rounding_mode=rounding_mode)
 
     def rank_table(self) -> np.ndarray:
         """Monotone int64 rank per pattern: ``rank[p] < rank[q]`` iff
@@ -147,16 +156,21 @@ class NumericFormat(ABC):
         """Elementwise ReLU on patterns (negatives -> zero pattern)."""
 
     @abstractmethod
-    def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
+    def encode_from_quire_batch(
+        self, limbs: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
         """Round a ``(..., L)`` tensor of exact quire limbs to patterns.
 
         Limbs are unnormalized int64 digits of weight ``2**(i * LIMB_BITS)``
         over a quire whose LSB weighs ``2**quire_lsb_exponent``.  Returns a
         ``(...)`` uint32 pattern array, bit-identical to rounding each quire
-        once with the scalar encoder.
+        once with the scalar reference of the requested ``mode``: the
+        scalar encoder for ``"rne"``, ``truncate_scalar`` for ``"rtz"``.
         """
 
-    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
+    def encode_from_quire_words(
+        self, words: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
         """Round exact *single-word* quires (int64 ``words`` of quire LSBs).
 
         The compiled layer kernels prove, per weight matrix, when every
@@ -170,7 +184,7 @@ class NumericFormat(ABC):
         # extension, as normalization requires.
         limbs = np.zeros(words.shape + (4,), dtype=np.int64)
         limbs[..., 0] = words
-        return self.encode_from_quire_batch(limbs)
+        return self.encode_from_quire_batch(limbs, mode=mode)
 
     # -- scalar reference hooks -----------------------------------------
     @abstractmethod

@@ -17,7 +17,7 @@ import numpy as np
 from ..fixedpoint import codec as fx
 from ..fixedpoint.format import FixedFormat
 from .base import NumericFormat
-from .quire import normalize_quire_limbs
+from .quire import arithmetic_shift_round, normalize_quire_limbs
 
 __all__ = ["FixedBackend"]
 
@@ -43,11 +43,15 @@ class FixedBackend(NumericFormat):
         return -2 * self.fmt.q
 
     # ------------------------------------------------------------------
-    def compile_layer(self, weights, bias=None, *, chunk_elements=None):
+    def compile_layer(
+        self, weights, bias=None, *, chunk_elements=None, rounding_mode="rne"
+    ):
         """Fixed layers compile to a precomputed signed int64 matmul."""
         from .kernels import MatmulLayerKernel
 
-        return MatmulLayerKernel(self, weights, bias)
+        return MatmulLayerKernel(
+            self, weights, bias, rounding_mode=rounding_mode
+        )
 
     def quantize_batch(self, values: np.ndarray) -> np.ndarray:
         return fx.quantize_array(self.fmt, values)
@@ -59,12 +63,18 @@ class FixedBackend(NumericFormat):
         return fx.relu_patterns(self.fmt, patterns)
 
     # ------------------------------------------------------------------
-    def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
+    def encode_from_quire_batch(
+        self, limbs: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
         fmt = self.fmt
         q = normalize_quire_limbs(limbs)
         # Quires small enough to matter fit entirely in ``top`` (< 2**60);
         # anything wider saturates after the >> q output shift anyway.
-        exact = np.where(q.sign, -q.top, q.top) >> fmt.q
+        # ("rne" names the paper's native Fig. 3 floor stage, keeping the
+        # pipeline-wide default-mode contract uniform across families.)
+        exact = arithmetic_shift_round(
+            np.where(q.sign, -q.top, q.top), fmt.q, mode
+        )
         saturated = np.where(q.sign, np.int64(fmt.int_min), np.int64(fmt.int_max))
         raw = np.where(q.shift > 0, saturated, np.clip(exact, fmt.int_min, fmt.int_max))
         return ((raw & fmt.mask)).astype(np.uint32)

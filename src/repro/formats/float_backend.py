@@ -20,7 +20,9 @@ from .base import LimbTables, NumericFormat
 from .quire import (
     NormalizedQuire,
     bit_length_int64,
+    check_rounding_mode,
     normalize_quire_limbs,
+    round_kept_bits,
     words_as_quire,
 )
 
@@ -81,13 +83,20 @@ class FloatBackend(NumericFormat):
         return t.relu[np.asarray(patterns, dtype=np.int64)].astype(np.uint32)
 
     # ------------------------------------------------------------------
-    def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
-        return self._encode_normalized(normalize_quire_limbs(limbs))
+    def encode_from_quire_batch(
+        self, limbs: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
+        return self._encode_normalized(normalize_quire_limbs(limbs), mode)
 
-    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
-        return self._encode_normalized(words_as_quire(words))
+    def encode_from_quire_words(
+        self, words: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
+        return self._encode_normalized(words_as_quire(words), mode)
 
-    def _encode_normalized(self, q: NormalizedQuire) -> np.ndarray:
+    def _encode_normalized(
+        self, q: NormalizedQuire, mode: str = "rne"
+    ) -> np.ndarray:
+        check_rounding_mode(mode)
         fmt = self.fmt
         one = np.int64(1)
         scale = self.quire_lsb_exponent + q.total_bits - 1
@@ -106,7 +115,7 @@ class FloatBackend(NumericFormat):
         guard_pos = np.clip(62 - kept_width, 0, 63)
         guard = (norm >> guard_pos) & 1
         sticky = ((norm & ((one << np.clip(guard_pos, 0, 62)) - 1)) != 0) | q.sticky
-        rounded = kept + (guard & ((kept & 1) | sticky))
+        rounded = round_kept_bits(kept, guard, sticky, mode)
 
         rounded_bits = bit_length_int64(rounded)
         subnormal = (lsb_exp == fmt.min_scale) & (rounded_bits <= fmt.wf)

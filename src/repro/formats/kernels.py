@@ -92,7 +92,7 @@ import threading
 import numpy as np
 
 from .base import LimbTables, NumericFormat
-from .quire import LIMB_BITS
+from .quire import LIMB_BITS, arithmetic_shift_round, check_rounding_mode
 
 __all__ = [
     "LayerKernel",
@@ -229,11 +229,14 @@ class LayerKernel:
     Calling the kernel on ``(batch, in)`` activation patterns returns the
     ``(batch, out)`` exact round-once dot products — the same contract as
     ``VectorEngine.dot(weights, activations, bias)``, with all per-call
-    weight preparation hoisted into construction.
+    weight preparation hoisted into construction.  ``rounding_mode``
+    selects the round-once output stage (``"rne"`` default, ``"rtz"``
+    round toward zero) and is honoured by every fast path.
     """
 
     out_features: int
     in_features: int
+    rounding_mode: str = "rne"
 
     def _check_activations(self, activations) -> np.ndarray:
         a = np.asarray(activations, dtype=np.uint32)
@@ -267,6 +270,7 @@ class TableLayerKernel(LayerKernel):
         bias: np.ndarray | None = None,
         *,
         chunk_elements: int | None = None,
+        rounding_mode: str = "rne",
     ):
         tables = backend.limb_tables()
         if tables is None:
@@ -275,6 +279,7 @@ class TableLayerKernel(LayerKernel):
         if max_term_bits > 62:
             raise ValueError("significand products too wide for int64 limbs")
         self.backend = backend
+        self.rounding_mode = check_rounding_mode(rounding_mode)
         self._tables = tables
         self._chunk_elements = chunk_elements
         self._num_limbs = (tables.max_shift + max_term_bits) // LIMB_BITS + 2
@@ -443,7 +448,9 @@ class TableLayerKernel(LayerKernel):
                     words += shifted
                 if self._bias_words is not None:
                     words += self._bias_words
-                out[start:stop] = self.backend.encode_from_quire_words(words)
+                out[start:stop] = self.backend.encode_from_quire_words(
+                    words, mode=self.rounding_mode
+                )
             return out
         chunk = max(1, cap // max(1, out_dim * L))
         fast = len(self._splits) == 1
@@ -480,11 +487,15 @@ class TableLayerKernel(LayerKernel):
                     words += limb3[..., k]
                 if self._bias_words is not None:
                     words += self._bias_words
-                out[start:stop] = self.backend.encode_from_quire_words(words)
+                out[start:stop] = self.backend.encode_from_quire_words(
+                    words, mode=self.rounding_mode
+                )
             else:
                 if self._bias_limbs is not None:
                     limb3 += self._bias_limbs
-                out[start:stop] = self.backend.encode_from_quire_batch(limb3)
+                out[start:stop] = self.backend.encode_from_quire_batch(
+                    limb3, mode=self.rounding_mode
+                )
         return out
 
 
@@ -497,7 +508,14 @@ class MatmulLayerKernel(LayerKernel):
     alignment out of the per-call path.
     """
 
-    def __init__(self, backend: NumericFormat, weights, bias=None):
+    def __init__(
+        self,
+        backend: NumericFormat,
+        weights,
+        bias=None,
+        *,
+        rounding_mode: str = "rne",
+    ):
         from ..fixedpoint import codec as fx
 
         fmt = backend.fmt
@@ -505,6 +523,7 @@ class MatmulLayerKernel(LayerKernel):
             raise ValueError("vector engine supports n <= 16")
         self.backend = backend
         self.fmt = fmt
+        self.rounding_mode = check_rounding_mode(rounding_mode)
         self._fx = fx
         weights, bias = _check_weights(weights, bias)
         self.out_features, self.in_features = weights.shape
@@ -520,7 +539,7 @@ class MatmulLayerKernel(LayerKernel):
         acc = a @ self._w_t  # exact: |terms| < 2**(2n-2), k < 2**20
         if self._bias_term is not None:
             acc = acc + self._bias_term[None, :]
-        out = acc >> fmt.q  # arithmetic shift = floor, as in the paper
+        out = arithmetic_shift_round(acc, fmt.q, self.rounding_mode)
         out = np.clip(out, fmt.int_min, fmt.int_max)
         return (out & fmt.mask).astype(np.uint32)
 
@@ -533,8 +552,16 @@ class DotLayerKernel(LayerKernel):
     the compile-then-run API without assuming anything about the engine.
     """
 
-    def __init__(self, backend: NumericFormat, weights, bias=None):
+    def __init__(
+        self,
+        backend: NumericFormat,
+        weights,
+        bias=None,
+        *,
+        rounding_mode: str = "rne",
+    ):
         self.backend = backend
+        self.rounding_mode = check_rounding_mode(rounding_mode)
         weights, bias = _check_weights(weights, bias)
         self.out_features, self.in_features = weights.shape
         self._weights = weights
@@ -543,7 +570,16 @@ class DotLayerKernel(LayerKernel):
 
     def __call__(self, activations: np.ndarray) -> np.ndarray:
         activations = self._check_activations(activations)
-        return self._engine.dot(self._weights, activations, self._bias)
+        if self.rounding_mode == "rne":
+            # Keep the default path compatible with custom engines whose
+            # ``dot`` predates the rounding_mode keyword.
+            return self._engine.dot(self._weights, activations, self._bias)
+        return self._engine.dot(
+            self._weights,
+            activations,
+            self._bias,
+            rounding_mode=self.rounding_mode,
+        )
 
 
 def compile_layer(
@@ -552,6 +588,9 @@ def compile_layer(
     bias: np.ndarray | None = None,
     *,
     chunk_elements: int | None = None,
+    rounding_mode: str = "rne",
 ) -> LayerKernel:
     """Compile ``(weights, bias)`` into the backend's best layer kernel."""
-    return backend.compile_layer(weights, bias, chunk_elements=chunk_elements)
+    return backend.compile_layer(
+        weights, bias, chunk_elements=chunk_elements, rounding_mode=rounding_mode
+    )

@@ -20,7 +20,13 @@ from ..posit.decode import decode as posit_decode
 from ..posit.encode import encode_exact, encode_fraction
 from ..posit.format import PositFormat
 from .base import LimbTables, NumericFormat
-from .quire import NormalizedQuire, normalize_quire_limbs, words_as_quire
+from .quire import (
+    NormalizedQuire,
+    check_rounding_mode,
+    normalize_quire_limbs,
+    round_kept_bits,
+    words_as_quire,
+)
 
 __all__ = ["PositBackend"]
 
@@ -84,13 +90,20 @@ class PositBackend(NumericFormat):
         return t.relu[np.asarray(patterns, dtype=np.int64)].astype(np.uint32)
 
     # ------------------------------------------------------------------
-    def encode_from_quire_batch(self, limbs: np.ndarray) -> np.ndarray:
-        return self._encode_normalized(normalize_quire_limbs(limbs))
+    def encode_from_quire_batch(
+        self, limbs: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
+        return self._encode_normalized(normalize_quire_limbs(limbs), mode)
 
-    def encode_from_quire_words(self, words: np.ndarray) -> np.ndarray:
-        return self._encode_normalized(words_as_quire(words))
+    def encode_from_quire_words(
+        self, words: np.ndarray, *, mode: str = "rne"
+    ) -> np.ndarray:
+        return self._encode_normalized(words_as_quire(words), mode)
 
-    def _encode_normalized(self, q: NormalizedQuire) -> np.ndarray:
+    def _encode_normalized(
+        self, q: NormalizedQuire, mode: str = "rne"
+    ) -> np.ndarray:
+        check_rounding_mode(mode)
         fmt = self.fmt
         scale = self.quire_lsb_exponent + q.total_bits - 1
         # Any magnitude bit below the leading one?
@@ -121,17 +134,34 @@ class PositBackend(NumericFormat):
         pattern = body >> cut
         guard = (body >> (cut - 1)) & 1
         sticky_bit = ((body & ((np.int64(1) << (cut - 1)) - 1)) != 0) | sticky
-        pattern = pattern + (guard & ((pattern & 1) | sticky_bit))
+        pattern = round_kept_bits(pattern, guard, sticky_bit, mode)
         pattern = np.minimum(pattern, fmt.maxpos_pattern)
-        # Rounding never produces zero from a nonzero value.
-        pattern = np.where(pattern == 0, np.int64(fmt.minpos_pattern), pattern)
 
-        # Saturation rules ahead of the general path.
-        pattern = np.where(
-            (scale == fmt.max_scale) & frac_nonzero, np.int64(fmt.maxpos_pattern), pattern
-        )
-        pattern = np.where(scale > fmt.max_scale, np.int64(fmt.maxpos_pattern), pattern)
-        pattern = np.where(scale < fmt.min_scale, np.int64(fmt.minpos_pattern), pattern)
+        if mode == "rne":
+            # RNE never produces zero from a nonzero value (posit standard:
+            # round-down saturates at minpos) ...
+            pattern = np.where(
+                pattern == 0, np.int64(fmt.minpos_pattern), pattern
+            )
+            # Saturation rules ahead of the general path.
+            pattern = np.where(
+                (scale == fmt.max_scale) & frac_nonzero,
+                np.int64(fmt.maxpos_pattern),
+                pattern,
+            )
+            pattern = np.where(
+                scale > fmt.max_scale, np.int64(fmt.maxpos_pattern), pattern
+            )
+            pattern = np.where(
+                scale < fmt.min_scale, np.int64(fmt.minpos_pattern), pattern
+            )
+        else:
+            # ... while truncation toward zero *does*: |value| < minpos
+            # floors to the zero pattern, |value| > maxpos to maxpos.
+            pattern = np.where(
+                scale > fmt.max_scale, np.int64(fmt.maxpos_pattern), pattern
+            )
+            pattern = np.where(scale < fmt.min_scale, np.int64(0), pattern)
 
         pattern = np.where(q.sign, ((1 << fmt.n) - pattern) & fmt.mask, pattern)
         pattern = np.where(q.is_zero, np.int64(fmt.zero_pattern), pattern)

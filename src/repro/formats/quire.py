@@ -28,11 +28,59 @@ import numpy as np
 
 __all__ = [
     "LIMB_BITS",
+    "ROUNDING_MODES",
     "NormalizedQuire",
+    "arithmetic_shift_round",
+    "check_rounding_mode",
     "normalize_quire_limbs",
+    "round_kept_bits",
     "words_as_quire",
     "bit_length_int64",
 ]
+
+#: Rounding modes of the round-once output stage.  ``"rne"`` is the paper's
+#: recommended round-to-nearest-even (for fixed point it names the paper's
+#: native Fig. 3 floor stage); ``"rtz"`` rounds toward zero — the truncated
+#: EMAC of the Section III-A ablation.
+ROUNDING_MODES = ("rne", "rtz")
+
+
+def check_rounding_mode(mode: str) -> str:
+    """Validate (and return) a rounding-mode string."""
+    if mode not in ROUNDING_MODES:
+        raise ValueError(
+            f"unknown rounding mode {mode!r} (expected one of {ROUNDING_MODES})"
+        )
+    return mode
+
+
+def arithmetic_shift_round(values, shift: int, mode: str = "rne"):
+    """Fixed-point output shift of signed int64 ``values`` by ``shift`` bits.
+
+    ``"rne"`` names the paper's native Fig. 3 stage — an arithmetic shift
+    right, i.e. floor; ``"rtz"`` floors the magnitude instead (round
+    toward zero).  The single definition keeps the fixed backend, its
+    engine, and its compiled kernel bit-identical by construction.
+    """
+    check_rounding_mode(mode)
+    if mode == "rne":
+        return values >> shift
+    return np.where(values < 0, -((-values) >> shift), values >> shift)
+
+
+def round_kept_bits(kept, guard, sticky, mode: str = "rne"):
+    """Batched final rounding of a truncated pattern-space magnitude.
+
+    ``kept`` holds the magnitude bits that fit the output format, ``guard``
+    the first dropped bit, and ``sticky`` whether any lower magnitude bit is
+    set (int or bool arrays; all elementwise).  RNE applies the classic
+    ``guard AND (lsb OR sticky)`` increment; RTZ keeps the truncation —
+    round toward zero *is* dropping the guard/sticky tail of a magnitude.
+    """
+    check_rounding_mode(mode)
+    if mode == "rtz":
+        return kept
+    return kept + (guard & ((kept & 1) | sticky))
 
 #: Width of one vector-engine limb.  Terms are ``product << (shift % LIMB_BITS)``
 #: with products below 2**12 at the paper's widths, so per-limb partial sums
