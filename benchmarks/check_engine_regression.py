@@ -1,11 +1,17 @@
 #!/usr/bin/env python
-"""CI regression guard for the compiled-kernel inference throughput.
+"""CI regression guard for the compiled- and fused-kernel throughput.
 
 Reads a ``pytest-benchmark`` JSON produced by ``bench_engine_throughput.py``
-and computes the full-network speedup of the compiled kernels over the
-retained PR 1 engine path (both measured in the *same* run, so the ratio is
-machine-independent).  Fails when the speedup drops below the acceptance
-floor or more than 30% under the committed baseline entry.
+and computes two full-network speedups, each from timings measured in the
+*same* run so the ratios are machine-independent:
+
+* compiled per-layer kernels over the retained PR 1 engine path;
+* the fused whole-network plan over the compiled per-layer kernels (the
+  fused bench asserts bit-identity to the per-layer kernels and the
+  scalar oracle in-run, so this ratio can never be bought with numerics).
+
+Fails when either speedup drops below its acceptance floor or more than
+30% under its committed baseline entry.
 
 Usage::
 
@@ -22,11 +28,15 @@ from pathlib import Path
 #: Acceptance floor: compiled full-network inference must stay >= 3x PR 1.
 SPEEDUP_FLOOR = 3.0
 
+#: Acceptance floor: the fused plan must stay >= 1.5x the per-layer kernels.
+FUSED_SPEEDUP_FLOOR = 1.5
+
 #: Allowed fraction of the committed baseline speedup (30% drop tolerance).
 BASELINE_FRACTION = 0.7
 
 COMPILED = "test_network_inference_compiled"
 REFERENCE = "test_network_inference_pr1_baseline"
+FUSED = "test_network_inference_fused"
 
 
 def mean_seconds(report: dict, name: str) -> float:
@@ -46,15 +56,33 @@ def main(argv: list[str]) -> int:
     )
     baseline = json.loads(baseline_path.read_text())
 
-    speedup = mean_seconds(report, REFERENCE) / mean_seconds(report, COMPILED)
+    compiled_mean = mean_seconds(report, COMPILED)
+    speedup = mean_seconds(report, REFERENCE) / compiled_mean
     committed = float(baseline["network_inference_speedup"])
     required = max(SPEEDUP_FLOOR, BASELINE_FRACTION * committed)
     print(
         f"compiled-kernel network speedup: {speedup:.2f}x "
         f"(committed baseline {committed:.2f}x, required >= {required:.2f}x)"
     )
+    failed = False
     if speedup < required:
         print("FAIL: compiled inference throughput regressed", file=sys.stderr)
+        failed = True
+
+    fused_speedup = compiled_mean / mean_seconds(report, FUSED)
+    fused_committed = float(baseline["network_fused_speedup"])
+    fused_required = max(
+        FUSED_SPEEDUP_FLOOR, BASELINE_FRACTION * fused_committed
+    )
+    print(
+        f"fused-plan network speedup: {fused_speedup:.2f}x over the "
+        f"per-layer kernels (committed baseline {fused_committed:.2f}x, "
+        f"required >= {fused_required:.2f}x)"
+    )
+    if fused_speedup < fused_required:
+        print("FAIL: fused inference throughput regressed", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("OK")
     return 0

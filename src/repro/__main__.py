@@ -15,6 +15,7 @@ Number systems are addressed by registry name (``python -m repro formats``
 lists them); any registered family works end to end::
 
     python -m repro formats                # registered families/candidates
+    python -m repro formats --explain wbc:posit8_1   # fused-plan decisions
     python -m repro synth wbc posit8_1     # synthesis at a named format
     python -m repro sweep iris 8           # full width-8 sweep, one dataset
     python -m repro sweep iris float4_3    # one named config, one dataset
@@ -150,6 +151,46 @@ def _formats() -> str:
     for n in (5, 6, 7, 8):
         names = formats.available(widths=(n,))
         lines.append(f"  n={n}: " + " ".join(names))
+    lines.append("")
+    lines.append("Fused-plan compile report for a served model:")
+    lines.append("  python -m repro formats --explain DATASET:FORMAT")
+    return "\n".join(lines)
+
+
+def _formats_explain(spec: str) -> str:
+    """Per-layer fused-plan compile report for a trained ``ds:fmt`` model."""
+    from . import formats
+    from .analysis import trained_model
+    from .core import PositronNetwork
+
+    dataset, sep, format_name = spec.partition(":")
+    if not sep or not dataset or not format_name:
+        raise ValueError(f"--explain wants DATASET:FORMAT, got {spec!r}")
+    backend = formats.get(format_name)
+    weights, biases = trained_model(dataset).model.export_params()
+    net = PositronNetwork.from_float_params(backend.fmt, weights, biases)
+    report = net.network_kernel().explain()
+    lines = [
+        f"[{dataset}, {backend.label}] fused network plan "
+        f"(mode={net.rounding_mode})",
+        f"{'layer':<6}{'shape':<12}{'act':<10}{'path':<9}"
+        f"{'operands':<10}{'tables':<10}candidates (best-of-3 us)",
+    ]
+    for row in report:
+        shape = f"{row['in_features']}->{row['out_features']}"
+        timings = row["timings_us"]
+        timing_str = (
+            "uncontested: " + "/".join(e for e in row["eligible"] if e != "layer")
+            if timings is None
+            else " ".join(f"{p}={t}" for p, t in sorted(timings.items()))
+        )
+        lines.append(
+            f"{row['layer']:<6}{shape:<12}{row['activation']:<10}"
+            f"{row['path']:<9}{row['wants']:<10}"
+            f"{row['table_bytes'] / 1024:>7.1f}KB {timing_str}"
+        )
+    total = sum(row["table_bytes"] for row in report)
+    lines.append(f"total compiled-table footprint: {total / 1024:.1f}KB")
     return "\n".join(lines)
 
 
@@ -352,6 +393,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if command == "serve":
         return _serve(args[1:])
+    if command == "formats" and len(args) > 1:
+        if args[1] != "--explain" or len(args) < 3:
+            print("usage: python -m repro formats [--explain DATASET:FORMAT]",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(_formats_explain(args[2]))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
     if command == "sweep":
         if len(args) < 3:
             print("usage: python -m repro sweep <dataset> <width|format-name>",

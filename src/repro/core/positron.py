@@ -13,7 +13,13 @@ argmaxing the decoded values, without the float64 decode).
 Each layer compiles its ``(weights, bias)`` into a reusable kernel at
 construction (:mod:`repro.formats.kernels`): weight digits are gathered and
 stacked once, so every ``forward`` is a single float64 GEMM per batch chunk
-plus the batched round-once output stage.
+plus the batched round-once output stage.  Whole-network calls
+(``forward_patterns`` / ``predict_patterns``) additionally ride a cached
+fused plan (:meth:`PositronNetwork.network_kernel`,
+:mod:`repro.formats.network`) that chains the layers through fused
+round-once / pattern-ReLU / operand-gather epilogues with per-layer integer
+fast paths — bit-identical to the layer-by-layer path, kept as
+``forward_patterns_layers``.
 
 Two execution paths produce identical bits:
 
@@ -24,6 +30,7 @@ Two execution paths produce identical bits:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -39,6 +46,11 @@ __all__ = ["PositronLayer", "PositronNetwork", "Activation", "scalar_emac_for"]
 
 Activation = str  # "relu" | "identity"
 _ACTIVATIONS = ("relu", "identity")
+
+# Monotonic compile stamps: every layer (re)compile takes a fresh epoch, so
+# a network's cached fused plan can detect staleness by comparing epoch
+# signatures (ids are unreliable — CPython reuses them after GC).
+_KERNEL_EPOCHS = itertools.count(1)
 
 
 def scalar_emac_for(fmt) -> Emac:
@@ -100,6 +112,8 @@ class PositronLayer:
         self._kernel = formats.backend_for(self.fmt).compile_layer(
             self.weights, self.bias, rounding_mode=self.rounding_mode
         )
+        # Stamp the compile so cached whole-network plans notice it.
+        self._kernel_epoch = next(_KERNEL_EPOCHS)
 
     @property
     def in_features(self) -> int:
@@ -181,6 +195,7 @@ class PositronNetwork:
             )
         self.rounding_mode = modes.pop()
         self._mode_twins: dict[str, "PositronNetwork"] = {}
+        self._network_plan = None  # (epoch signature, fused NetworkKernel)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -263,8 +278,65 @@ class PositronNetwork:
             layer.out_features for layer in self.layers
         )
 
+    def recompile(self) -> None:
+        """Recompile every layer kernel (and cached mode twins') in place.
+
+        Call after mutating any layer's ``weights``/``bias`` arrays.  The
+        fresh kernel epochs automatically invalidate the cached fused
+        network plan (:meth:`network_kernel`), so the next
+        ``forward_patterns`` / ``predict_patterns`` recompiles it.
+        """
+        for layer in self.layers:
+            layer.recompile()
+        for twin in self._mode_twins.values():
+            for layer in twin.layers:
+                layer.recompile()
+
+    def network_kernel(self, force_path: str | None = None):
+        """The whole network compiled into one fused plan, cached.
+
+        Chains every layer through fused round-once / pattern-space ReLU /
+        operand-gather epilogues with a per-shape integer fast path (see
+        :mod:`repro.formats.network`).  The cache is keyed by the layers'
+        kernel epochs, so any :meth:`PositronLayer.recompile` — a weight
+        mutation, a rounding-mode change — invalidates it.  ``force_path``
+        pins every layer to one words path (testing hook, never cached).
+        """
+        signature = tuple(layer._kernel_epoch for layer in self.layers)
+        cached = self._network_plan
+        if force_path is None and cached is not None and cached[0] == signature:
+            return cached[1]
+        plan = formats.backend_for(self.fmt).compile_network(
+            [(l.weights, l.bias, l.activation) for l in self.layers],
+            rounding_mode=self.rounding_mode,
+            layer_kernels=[l._kernel for l in self.layers],
+            force_path=force_path,
+        )
+        if force_path is None:
+            self._network_plan = (signature, plan)
+        return plan
+
     def forward_patterns(self, patterns: np.ndarray) -> np.ndarray:
-        """Exact forward pass: ``(batch, in)`` patterns -> output patterns."""
+        """Exact forward pass: ``(batch, in)`` patterns -> output patterns.
+
+        Runs the fused network plan (:meth:`network_kernel`): intermediate
+        activations never materialize beyond their patterns, and usually
+        not even that — each epilogue hands the next layer its operands
+        directly.  Bit-identical to :meth:`forward_patterns_layers`.
+        """
+        out = np.asarray(patterns, dtype=np.uint32)
+        if out.ndim == 1:
+            out = out[None, :]
+        return self.network_kernel().forward(out)
+
+    def forward_patterns_layers(self, patterns: np.ndarray) -> np.ndarray:
+        """Layer-by-layer forward through the compiled per-layer kernels.
+
+        The pre-fusion execution path (kernel + engine ReLU per layer),
+        kept as the oracle the fused plan is property-tested against and
+        as the baseline the benchmark regression guard measures fusion
+        speedup from.
+        """
         out = np.asarray(patterns, dtype=np.uint32)
         if out.ndim == 1:
             out = out[None, :]
@@ -291,11 +363,14 @@ class PositronNetwork:
         table (:meth:`repro.formats.NumericFormat.rank_table`) orders
         patterns exactly as their values do — equal values share a rank —
         so ``argmax(rank[out])`` is identical to argmaxing the decoded
-        float64 activations, ties included.
+        float64 activations, ties included.  The fused plan composes that
+        rank gather straight into the last layer's round-once epilogue, so
+        the readout never materializes output patterns either.
         """
-        out = self.forward_patterns(patterns)
-        ranks = formats.backend_for(self.fmt).rank_table()
-        return np.argmax(ranks[out.astype(np.int64)], axis=1)
+        out = np.asarray(patterns, dtype=np.uint32)
+        if out.ndim == 1:
+            out = out[None, :]
+        return self.network_kernel().predict(out)
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Class prediction: pattern-space argmax of the exact readout."""

@@ -207,12 +207,9 @@ class TableVectorEngine(VectorEngine):
 
     # -- shared ---------------------------------------------------------
     def _check_patterns(self, patterns: np.ndarray, what: str) -> np.ndarray:
-        p = np.asarray(patterns, dtype=np.int64)
-        if p.size and (p.min() < 0 or p.max() >= self._tables.signed_sig.shape[0]):
-            raise ValueError(f"{what} pattern out of range")
-        if np.any(self._tables.invalid[p]):
-            raise ValueError(f"{what} contains NaR/reserved patterns")
-        return p
+        # One validator serves the engines, the layer kernels, and the
+        # fused network plans (which validate network inputs exactly once).
+        return formats.check_patterns(self._tables, patterns, what)
 
     def dot(self, weights, activations, bias=None, *, rounding_mode="rne"):
         """Exact round-once dot products via a one-shot compiled kernel.

@@ -22,9 +22,20 @@ from .kernels import (
     LayerKernel,
     MatmulLayerKernel,
     TableLayerKernel,
+    check_patterns,
     clear_scratch,
     compile_layer,
     digit_planes,
+    quire_bound_bits,
+)
+from .network import (
+    NETWORK_PATHS,
+    NetworkKernel,
+    RoundTable,
+    aligned_value_table,
+    compile_network,
+    exact_product_table,
+    round_table,
 )
 from .quire import (
     LIMB_BITS,
@@ -59,7 +70,16 @@ __all__ = [
     "DotLayerKernel",
     "compile_layer",
     "digit_planes",
+    "check_patterns",
+    "quire_bound_bits",
     "clear_scratch",
+    "NetworkKernel",
+    "RoundTable",
+    "NETWORK_PATHS",
+    "compile_network",
+    "round_table",
+    "aligned_value_table",
+    "exact_product_table",
     "LIMB_BITS",
     "ROUNDING_MODES",
     "NormalizedQuire",

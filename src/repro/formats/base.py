@@ -123,6 +123,33 @@ class NumericFormat(ABC):
             )
         return DotLayerKernel(self, weights, bias, rounding_mode=rounding_mode)
 
+    def compile_network(
+        self,
+        layers,
+        *,
+        rounding_mode="rne",
+        layer_kernels=None,
+        force_path=None,
+    ):
+        """Compile a whole layer stack into one fused network plan.
+
+        ``layers`` is a sequence of ``(weights, bias, activation)`` triples;
+        the resulting :class:`~repro.formats.network.NetworkKernel` chains
+        every layer through fused round-once / pattern-ReLU / operand-gather
+        epilogues and picks an integer fast path per layer shape (see
+        :mod:`repro.formats.network`).  Pass the already compiled per-layer
+        kernels via ``layer_kernels`` to let fallback layers reuse them.
+        """
+        from .network import NetworkKernel
+
+        return NetworkKernel(
+            self,
+            layers,
+            rounding_mode=rounding_mode,
+            layer_kernels=layer_kernels,
+            force_path=force_path,
+        )
+
     def rank_table(self) -> np.ndarray:
         """Monotone int64 rank per pattern: ``rank[p] < rank[q]`` iff
         ``value[p] < value[q]`` and equal values share a rank.

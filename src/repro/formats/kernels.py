@@ -101,6 +101,8 @@ __all__ = [
     "DotLayerKernel",
     "compile_layer",
     "digit_planes",
+    "check_patterns",
+    "quire_bound_bits",
     "clear_scratch",
 ]
 
@@ -203,13 +205,51 @@ def _build_digit_planes(tables: LimbTables) -> np.ndarray:
     return digits.astype(np.float64)
 
 
-def _check_patterns(tables: LimbTables, patterns, what: str) -> np.ndarray:
+def check_patterns(tables: LimbTables, patterns, what: str) -> np.ndarray:
+    """Validate patterns against the decode tables; return them as int64.
+
+    Shared by the layer kernels, the engines' ``dot_reference`` path, and
+    the fused network kernels (which validate the *network* inputs once
+    instead of re-validating at every layer boundary).
+    """
     p = np.asarray(patterns, dtype=np.int64)
     if p.size and (p.min() < 0 or p.max() >= tables.signed_sig.shape[0]):
         raise ValueError(f"{what} pattern out of range")
     if np.any(tables.invalid[p]):
         raise ValueError(f"{what} contains NaR/reserved patterns")
     return p
+
+
+_check_patterns = check_patterns
+
+
+def quire_bound_bits(tables: LimbTables, wp, bp) -> int:
+    """Bit length bounding any reachable |quire| for these weights.
+
+    ``max_o sum_i |w_oi| * max_valid_a |a| + max_o |bias_o|`` in
+    quire-LSB units, evaluated in float64 with two guard bits of
+    safety margin — an over-estimate only ever costs a wider GEMM.
+    """
+    sig_abs = np.abs(tables.signed_sig).astype(np.float64)
+    valid = ~tables.invalid
+    act_max = 0.0
+    if valid.any():
+        act_max = float(np.ldexp(sig_abs[valid], tables.shift[valid]).max())
+    row_max = 0.0
+    if wp.size:
+        w_vals = np.ldexp(sig_abs[wp], tables.shift[wp])
+        row_max = float(w_vals.sum(axis=1).max())
+    bias_max = 0.0
+    if bp is not None and bp.size:
+        bias_max = float(
+            np.ldexp(
+                sig_abs[bp], tables.shift[bp] + tables.bias_extra_shift
+            ).max()
+        )
+    bound = row_max * act_max + bias_max
+    if bound == 0.0:
+        return 1
+    return int(np.frexp(bound)[1]) + 2
 
 
 def _check_weights(weights, bias) -> tuple[np.ndarray, np.ndarray | None]:
@@ -372,34 +412,7 @@ class TableLayerKernel(LayerKernel):
         if bp is not None and not self._word_mode:
             self._bias_limbs = self._compile_bias(bp)
 
-    @staticmethod
-    def _quire_bound_bits(tables: LimbTables, wp, bp) -> int:
-        """Bit length bounding any reachable |quire| for these weights.
-
-        ``max_o sum_i |w_oi| * max_valid_a |a| + max_o |bias_o|`` in
-        quire-LSB units, evaluated in float64 with two guard bits of
-        safety margin — an over-estimate only ever costs a wider GEMM.
-        """
-        sig_abs = np.abs(tables.signed_sig).astype(np.float64)
-        valid = ~tables.invalid
-        act_max = 0.0
-        if valid.any():
-            act_max = float(np.ldexp(sig_abs[valid], tables.shift[valid]).max())
-        row_max = 0.0
-        if wp.size:
-            w_vals = np.ldexp(sig_abs[wp], tables.shift[wp])
-            row_max = float(w_vals.sum(axis=1).max())
-        bias_max = 0.0
-        if bp is not None and bp.size:
-            bias_max = float(
-                np.ldexp(
-                    sig_abs[bp], tables.shift[bp] + tables.bias_extra_shift
-                ).max()
-            )
-        bound = row_max * act_max + bias_max
-        if bound == 0.0:
-            return 1
-        return int(np.frexp(bound)[1]) + 2
+    _quire_bound_bits = staticmethod(quire_bound_bits)
 
     def _compile_bias(self, bp: np.ndarray) -> np.ndarray:
         """Each bias pattern as quire-aligned limbs, shape (out, L)."""

@@ -16,7 +16,11 @@ concurrent single requests into kernel-sized batches:
   :meth:`~repro.core.positron.PositronNetwork.predict_patterns` on an
   executor thread, in slices of at most ``max_batch`` rows (a multi-row
   request can overflow the batch; the overflow splits into further
-  full-size slices).
+  full-size slices).  That call rides the network's fused plan
+  (:mod:`repro.formats.network`) — round-once, pattern-space ReLU, and
+  the rank-argmax readout chained per layer, warmed at model load — and
+  stays bit-identical to direct ``predict`` because the fused plan is
+  bit-identical to the per-layer kernels.
 
 **Bit-exactness.** Coalescing cannot change any answer: quantization is
 elementwise (stacking quantized requests equals quantizing the stacked

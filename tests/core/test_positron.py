@@ -119,6 +119,59 @@ class TestInference:
             assert np.array_equal(la.bias, lb.bias)
 
 
+class TestFusedPlanLifecycle:
+    """The cached fused network plan and its epoch-based invalidation."""
+
+    def test_plan_cached_until_recompile(self, rng):
+        net, _ = tiny_network(P8, rng)
+        plan = net.network_kernel()
+        assert net.network_kernel() is plan
+        net.recompile()
+        assert net.network_kernel() is not plan
+
+    def test_recompile_after_weight_mutation(self, rng):
+        """Mutating weights after the plan compiled requires recompile();
+        the fused forward must then track the new parameters exactly."""
+        net, engine = tiny_network(P8, rng)
+        X = engine.quantize(rng.normal(size=(6, 4)))
+        before = net.forward_patterns(X).copy()  # warms the cached plan
+        net.layers[0].weights[...] = engine.quantize(
+            rng.normal(scale=0.8, size=net.layers[0].weights.shape)
+        )
+        net.recompile()
+        after = net.forward_patterns(X)
+        assert np.array_equal(after, net.forward_patterns_layers(X))
+        assert not np.array_equal(after, before)
+
+    def test_mode_twin_compiles_its_own_plan(self, rng):
+        net, engine = tiny_network(P8, rng)
+        twin = net.with_rounding_mode("rtz")
+        assert twin.network_kernel() is not net.network_kernel()
+        X = engine.quantize(rng.normal(size=(5, 4)))
+        assert np.array_equal(
+            twin.forward_patterns(X), twin.forward_patterns_layers(X)
+        )
+        # recompile() on the parent reaches cached twins' layers too, so
+        # the twin's fused plan is invalidated along with the parent's.
+        twin_plan = twin.network_kernel()
+        net.recompile()
+        assert twin.network_kernel() is not twin_plan
+
+    def test_predict_patterns_empty_batch(self, rng):
+        net, _ = tiny_network(P8, rng)
+        empty = np.zeros((0, 4), np.uint32)
+        assert net.predict_patterns(empty).shape == (0,)
+        assert net.forward_patterns(empty).shape == (0, 3)
+
+    def test_predict_patterns_single_row_1d(self, rng):
+        net, engine = tiny_network(P8, rng)
+        x = engine.quantize(rng.normal(size=4))
+        pred = net.predict_patterns(x)
+        assert pred.shape == (1,)
+        assert np.array_equal(pred, net.predict_patterns(x[None, :]))
+        assert net.forward_patterns(x).shape == (1, 3)
+
+
 class TestTimingAndMemory:
     def test_timing_matches_topology(self, rng):
         net, _ = tiny_network(P8, rng, topology=(4, 6, 3))

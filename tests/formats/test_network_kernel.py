@@ -1,0 +1,331 @@
+"""Bit-identity of the fused whole-network kernels.
+
+The fused :class:`~repro.formats.network.NetworkKernel` must reproduce the
+layer-by-layer compiled forward (kernel + engine ReLU per layer) and the
+scalar EMAC reference, bit for bit, for every registered format, both
+rounding modes, and every words path forced on — including the oracle-built
+round table against ``encode_from_quire_words`` over the whole single-word
+window, its O(1) bucket index against plain ``searchsorted``, and the
+pattern-space ReLU composition against ``engine.relu`` on every valid
+pattern.  Shape edges (empty batches, single rows, fan-in 1) are covered
+per forced path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import formats
+from repro.core import engine_for
+from repro.core.positron import PositronNetwork
+from repro.fixedpoint import fixed_format
+from repro.floatp import float_format
+from repro.formats.network import (
+    NETWORK_PATHS,
+    NetworkKernel,
+    aligned_value_table,
+    exact_product_table,
+    round_table,
+)
+from repro.posit.format import standard_format
+
+FORMATS = [
+    standard_format(6, 0),
+    standard_format(8, 0),
+    standard_format(8, 1),
+    standard_format(8, 2),
+    float_format(4, 3),
+    float_format(3, 4),
+    float_format(2, 5),
+    fixed_format(8, 4),
+    fixed_format(5, 3),
+]
+
+TABLE_FORMATS = [
+    f for f in FORMATS if formats.backend_for(f).limb_tables() is not None
+]
+
+
+def scrub(fmt, patterns):
+    backend = formats.backend_for(fmt)
+    p = np.asarray(patterns, dtype=np.uint32) % (1 << fmt.n)
+    tables = backend.limb_tables()
+    if tables is not None:
+        p[tables.invalid[p]] = 0
+    return p
+
+
+@pytest.fixture(params=range(len(FORMATS)), ids=lambda i: str(FORMATS[i]))
+def any_fmt(request):
+    return FORMATS[request.param]
+
+
+@pytest.fixture(
+    params=range(len(TABLE_FORMATS)), ids=lambda i: str(TABLE_FORMATS[i])
+)
+def table_fmt(request):
+    return TABLE_FORMATS[request.param]
+
+
+def random_network(fmt, rng, topo, batch, rounding_mode="rne"):
+    """(layer triples, input patterns, PositronNetwork) on random params."""
+    hi = 1 << fmt.n
+    weights, biases = [], []
+    for i, o in zip(topo, topo[1:]):
+        weights.append(
+            scrub(fmt, rng.integers(0, hi, size=(o, i), dtype=np.uint32))
+        )
+        biases.append(
+            scrub(fmt, rng.integers(0, hi, size=(o,), dtype=np.uint32))
+        )
+    net = PositronNetwork.from_arrays(
+        fmt, weights, biases, rounding_mode=rounding_mode
+    )
+    layers = [(l.weights, l.bias, l.activation) for l in net.layers]
+    X = scrub(fmt, rng.integers(0, hi, size=(batch, topo[0]), dtype=np.uint32))
+    return layers, X, net
+
+
+def forced_plans(backend, layers, rounding_mode):
+    """Every constructible (path, plan) plus the unforced default plan."""
+    plans = [(None, backend.compile_network(layers, rounding_mode=rounding_mode))]
+    for path in NETWORK_PATHS:
+        try:
+            plans.append(
+                (
+                    path,
+                    backend.compile_network(
+                        layers, rounding_mode=rounding_mode, force_path=path
+                    ),
+                )
+            )
+        except ValueError:
+            continue  # path ineligible for this format/shape
+    return plans
+
+
+class TestRoundTable:
+    def test_matches_encoder_over_window(self, table_fmt):
+        """Lookup == encode_from_quire_words across the int64 word window."""
+        backend = formats.backend_for(table_fmt)
+        rng = np.random.default_rng(11)
+        cap = np.int64(1) << 62
+        for mode in formats.ROUNDING_MODES:
+            rt = round_table(backend, mode)
+            words = np.concatenate(
+                [
+                    np.arange(-4096, 4096, dtype=np.int64),
+                    rng.integers(-cap, cap, size=50_000, dtype=np.int64),
+                    rt.boundaries,
+                    rt.boundaries - 1,
+                    rt.boundaries + 1,
+                    np.array([-cap, cap, -1, 0, 1], dtype=np.int64),
+                ]
+            )
+            expected = backend.encode_from_quire_words(words, mode=mode)
+            assert np.array_equal(rt.lookup(words), expected.astype(np.int64))
+
+    def test_bucket_index_matches_searchsorted(self, table_fmt):
+        """The O(1) bucket lookup == binary search on the same boundaries."""
+        backend = formats.backend_for(table_fmt)
+        rng = np.random.default_rng(12)
+        cap = np.int64(1) << 62
+        for mode in formats.ROUNDING_MODES:
+            rt = round_table(backend, mode)
+            assert rt._m is not None  # built-ins always get the fast grid
+            words = np.concatenate(
+                [
+                    rng.integers(-cap, cap, size=50_000, dtype=np.int64),
+                    rt.boundaries,
+                    rt.boundaries - 1,
+                ]
+            )
+            assert np.array_equal(
+                rt.indices(words),
+                np.searchsorted(rt.boundaries, words, side="right"),
+            )
+
+    def test_exact_tables_are_exact(self, table_fmt):
+        """Aligned values and the product table agree with the decode tables."""
+        backend = formats.backend_for(table_fmt)
+        t = backend.limb_tables()
+        valid = np.flatnonzero(~t.invalid)
+        avals = aligned_value_table(backend)
+        if avals is not None:
+            assert np.array_equal(
+                avals[valid], t.signed_sig[valid] << t.shift[valid]
+            )
+            dec = backend.decode_batch(valid.astype(np.uint32))
+            assert np.array_equal(np.sign(avals[valid]), np.sign(dec))
+        products = exact_product_table(backend)
+        if products is not None:
+            assert products.shape == (1 << table_fmt.n, 1 << table_fmt.n)
+            assert products.dtype == np.int64
+            assert np.array_equal(products, products.T)
+            assert np.array_equal(
+                products[valid][:, valid],
+                avals[valid][:, None] * avals[valid][None, :],
+            )
+
+
+class TestFusedBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fmt_idx=st.integers(0, len(FORMATS) - 1),
+        seed=st.integers(0, 2**31 - 1),
+        hidden=st.integers(1, 6),
+        out_dim=st.integers(1, 4),
+        in_dim=st.integers(1, 10),
+        batch=st.integers(0, 6),
+        mode_idx=st.integers(0, 1),
+    )
+    def test_fused_equals_layered_all_paths(
+        self, fmt_idx, seed, hidden, out_dim, in_dim, batch, mode_idx
+    ):
+        """Fused plan == per-layer kernels for every forced path and mode."""
+        fmt = FORMATS[fmt_idx]
+        mode = formats.ROUNDING_MODES[mode_idx]
+        backend = formats.backend_for(fmt)
+        rng = np.random.default_rng(seed)
+        layers, X, net = random_network(
+            fmt, rng, (in_dim, hidden, out_dim), batch, rounding_mode=mode
+        )
+        expected = net.forward_patterns_layers(X)
+        ranks = backend.rank_table()
+        expected_pred = np.argmax(ranks[expected.astype(np.int64)], axis=1)
+        for path, plan in forced_plans(backend, layers, mode):
+            out = plan.forward(X)
+            assert out.shape == (batch, out_dim), path
+            assert np.array_equal(out, expected), (path, mode)
+            pred = plan.predict(X)
+            assert pred.shape == (batch,), path
+            assert np.array_equal(pred, expected_pred), (path, mode)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        fmt_idx=st.integers(0, len(FORMATS) - 1),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_fused_equals_forward_scalar(self, fmt_idx, seed):
+        """Fused plan == one scalar EMAC per neuron, per forced path.
+
+        The scalar EMACs are the RNE reference datapath (the rtz ablation
+        has its own scalar oracle, ``truncate_scalar``), so this pins the
+        rne plans; rtz bit-identity rides the layered comparison above.
+        """
+        fmt = FORMATS[fmt_idx]
+        backend = formats.backend_for(fmt)
+        rng = np.random.default_rng(seed)
+        layers, X, net = random_network(fmt, rng, (5, 3, 2), 2)
+        expected = np.asarray(
+            [net.forward_scalar([int(p) for p in row]) for row in X],
+            dtype=np.uint32,
+        )
+        for path, plan in forced_plans(backend, layers, "rne"):
+            assert np.array_equal(plan.forward(X), expected), path
+
+    def test_relu_table_matches_engine_on_every_valid_pattern(self, any_fmt):
+        """Pattern-space ReLU composition == engine.relu, all valid patterns.
+
+        Exercised through a 1x1 identity-weight layer whose quire holds the
+        input exactly, so the fused epilogue's relu-composed slot table is
+        probed at every valid activation pattern.
+        """
+        backend = formats.backend_for(any_fmt)
+        engine = engine_for(any_fmt)
+        hi = 1 << any_fmt.n
+        valid = np.arange(hi, dtype=np.uint32)
+        tables = backend.limb_tables()
+        if tables is not None:
+            valid = valid[~tables.invalid[valid]]
+        one = backend.quantize_batch(np.asarray([1.0]))[0]
+        zero = backend.quantize_batch(np.asarray([0.0]))[0]
+        W = np.full((1, 1), one, dtype=np.uint32)
+        B = np.full(1, zero, dtype=np.uint32)
+        X = valid.reshape(-1, 1)
+        expected = engine.relu(
+            backend.compile_layer(W, B)(X)
+        )
+        for path, plan in forced_plans(backend, [(W, B, "relu")], "rne"):
+            assert np.array_equal(plan.forward(X), expected), path
+
+    def test_empty_and_single_row_every_path(self, any_fmt):
+        """(0, in) and (1, in) inputs keep exact shapes on every path."""
+        backend = formats.backend_for(any_fmt)
+        rng = np.random.default_rng(5)
+        layers, _, net = random_network(any_fmt, rng, (4, 3, 2), 0)
+        hi = 1 << any_fmt.n
+        empty = np.empty((0, 4), dtype=np.uint32)
+        single = scrub(any_fmt, rng.integers(0, hi, size=(1, 4), dtype=np.uint32))
+        for path, plan in forced_plans(backend, layers, "rne"):
+            out = plan.forward(empty)
+            assert out.shape == (0, 2) and out.dtype == np.uint32, path
+            assert plan.predict(empty).shape == (0,), path
+            out1 = plan.forward(single)
+            assert out1.shape == (1, 2), path
+            assert np.array_equal(out1, net.forward_patterns_layers(single))
+            pred1 = plan.predict(single)
+            assert pred1.shape == (1,), path
+
+
+class TestPlanCompile:
+    def test_force_path_rejects_ineligible(self):
+        """Forcing a path a layer cannot take raises, never silently falls back."""
+        fmt = standard_format(8, 2)  # product range overflows int64
+        backend = formats.backend_for(fmt)
+        rng = np.random.default_rng(9)
+        layers, _, _ = random_network(fmt, rng, (3, 2), 1)
+        with pytest.raises(ValueError, match="not eligible"):
+            backend.compile_network(layers, force_path="product")
+        with pytest.raises(ValueError, match="force_path"):
+            backend.compile_network(layers, force_path="warp")
+
+    def test_validates_network_inputs_once(self, table_fmt):
+        """Invalid input patterns are rejected at the network boundary."""
+        backend = formats.backend_for(table_fmt)
+        tables = backend.limb_tables()
+        bad = np.flatnonzero(tables.invalid)
+        if bad.size == 0:
+            pytest.skip("format has no invalid patterns")
+        rng = np.random.default_rng(3)
+        layers, X, _ = random_network(table_fmt, rng, (3, 2), 2)
+        plan = backend.compile_network(layers)
+        X = X.copy()
+        X[0, 0] = bad[0]
+        with pytest.raises(ValueError, match="activations"):
+            plan.forward(X)
+
+    def test_shape_mismatch_rejected(self, any_fmt):
+        backend = formats.backend_for(any_fmt)
+        rng = np.random.default_rng(4)
+        layers, X, _ = random_network(any_fmt, rng, (4, 3, 2), 2)
+        plan = backend.compile_network(layers)
+        with pytest.raises(ValueError, match="fan-in mismatch"):
+            plan.forward(X[:, :3])
+        with pytest.raises(ValueError, match="2-D"):
+            plan.forward(X[0])
+
+    def test_explain_reports_every_layer(self, any_fmt):
+        """explain() rows carry the decision, eligibility and footprint."""
+        backend = formats.backend_for(any_fmt)
+        rng = np.random.default_rng(6)
+        layers, _, _ = random_network(any_fmt, rng, (4, 3, 2), 1)
+        plan = backend.compile_network(layers)
+        report = plan.explain()
+        assert len(report) == 2
+        for i, row in enumerate(report):
+            assert row["layer"] == i
+            assert row["path"] in NETWORK_PATHS
+            assert row["path"] in row["eligible"]
+            assert row["table_bytes"] >= 0
+            assert row["activation"] in ("relu", "identity")
+
+    def test_layer_kernels_shape_checked(self, any_fmt):
+        backend = formats.backend_for(any_fmt)
+        rng = np.random.default_rng(8)
+        layers, _, _ = random_network(any_fmt, rng, (4, 3, 2), 1)
+        with pytest.raises(ValueError, match="per layer"):
+            NetworkKernel(backend, layers, layer_kernels=[None])
+        with pytest.raises(ValueError, match="at least one layer"):
+            NetworkKernel(backend, [])

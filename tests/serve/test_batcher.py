@@ -17,6 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import formats
 from repro.serve.batcher import MicroBatcher, ServiceClosed
 from repro.serve.registry import build_served_model
 from repro.serve.stats import ServeStats
@@ -124,6 +125,30 @@ class TestBatchLimits:
         # of 4, 4, 3 and the caller still gets all 11 rows back in order.
         assert dict(stats.batch_sizes) == {4: 2, 3: 1}
         np.testing.assert_array_equal(result, model.network.predict(x))
+
+
+class TestFusedServingIdentity:
+    def test_served_answers_match_per_layer_oracle(self, toy_inputs):
+        """Served predictions ride the fused network plan (warmed at model
+        load) and must stay bit-identical to the pre-fusion per-layer
+        kernel path's rank-space argmax."""
+        model = toy_model()
+        # build_served_model compiled the fused plan off the request path.
+        assert model.network._network_plan is not None
+        x = toy_inputs(9)
+        patterns = model.quantize(x)
+        out = model.network.forward_patterns_layers(patterns)
+        ranks = formats.backend_for(model.network.fmt).rank_table()
+        expected = np.argmax(ranks[out.astype(np.int64)], axis=1)
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_batch=4, max_delay_ms=1.0)
+            result = await batcher.submit(patterns)
+            await batcher.close()
+            return result
+
+        np.testing.assert_array_equal(asyncio.run(scenario()), expected)
+        np.testing.assert_array_equal(model.network.predict(x), expected)
 
 
 class TestModelIsolation:
