@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI guard for the serving soak test's recorded counters.
+
+Reads the JSON the slow-suite soak test (``tests/serve/test_soak.py``)
+writes when ``REPRO_SOAK_JSON`` is set, and enforces the committed
+baseline (``benchmarks/serve_soak_baseline.json``): zero errors, zero
+rejections, zero canary divergences, and p99 latency under the bound.
+The bound is deliberately generous — it exists to catch pathologies (a
+stalled batcher, a lost wakeup, a swap deadlock), not CI-machine jitter.
+
+Usage::
+
+    python benchmarks/check_serve_soak.py BENCH_serve_soak.json \
+        [benchmarks/serve_soak_baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    record = json.loads(Path(argv[1]).read_text())
+    baseline_path = Path(
+        argv[2]
+        if len(argv) == 3
+        else Path(__file__).parent / "serve_soak_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+
+    print(
+        f"soak: {record['requests']} requests, "
+        f"{record['errors']} errors, {record['rejected']} rejected, "
+        f"{record['mismatches']} mismatches, "
+        f"canary {record['canary_checks']}/{record['canary_divergences']} "
+        f"(checks/divergences), p50 {record['p50_ms']}ms, "
+        f"p99 {record['p99_ms']}ms (bound {baseline['p99_ms_bound']}ms)"
+    )
+
+    failed = False
+    for key, bound_key in (
+        ("errors", "max_errors"),
+        ("rejected", "max_rejected"),
+        ("canary_divergences", "max_canary_divergences"),
+    ):
+        if record[key] > baseline[bound_key]:
+            print(
+                f"FAIL: {key} = {record[key]} exceeds "
+                f"{bound_key} = {baseline[bound_key]}",
+                file=sys.stderr,
+            )
+            failed = True
+    if record["mismatches"] > 0:
+        print(
+            f"FAIL: {record['mismatches']} served responses diverged "
+            "from direct predict (bit-identity broken)",
+            file=sys.stderr,
+        )
+        failed = True
+    if record["p99_ms"] > baseline["p99_ms_bound"]:
+        print(
+            f"FAIL: p99 {record['p99_ms']}ms exceeds the committed bound "
+            f"{baseline['p99_ms_bound']}ms",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

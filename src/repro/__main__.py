@@ -32,11 +32,16 @@ content-addressed artifact cache (interrupt it; rerunning resumes)::
 
 The micro-batching inference service answers concurrent predict requests
 over HTTP, coalescing them into compiled-kernel-sized batches with
-responses bit-identical to direct ``predict`` (see docs/serving.md)::
+responses bit-identical to direct ``predict`` (see docs/serving.md).
+Service operations ride along: Prometheus ``/metrics``, adaptive
+coalescing delay, model hot-swap (``/swap``) and A/B serving with a
+sampled bit-identity canary::
 
     python -m repro serve                  # listen on 127.0.0.1:8707
     python -m repro serve --port 9000 --max-batch 64 --max-delay-ms 5
     python -m repro serve --warmup wbc:posit8_1 --warmup iris:float4_3
+    python -m repro serve --no-adaptive-delay      # fixed coalescing window
+    python -m repro serve --ab wbc:posit8_1:float8_4 --canary-every 4
 """
 
 from __future__ import annotations
@@ -319,8 +324,21 @@ def _serve(args: list[str]) -> int:
     parser.add_argument("--workers", type=int, default=2,
                         help="executor threads running kernel batches")
     parser.add_argument(
+        "--no-adaptive-delay", action="store_true",
+        help="disable EWMA delay tuning (always wait the full max-delay-ms)",
+    )
+    parser.add_argument(
         "--warmup", action="append", default=[], metavar="DATASET:FORMAT",
         help="preload a model before serving (repeatable)",
+    )
+    parser.add_argument(
+        "--ab", action="append", default=[], metavar="DATASET:FMT_A:FMT_B",
+        help="serve a dataset A/B across two formats with a sampled "
+             "bit-identity canary (repeatable)",
+    )
+    parser.add_argument(
+        "--canary-every", type=int, default=8,
+        help="run the A/B canary on every Nth routed request (0 = never)",
     )
     ns = parser.parse_args(args)
 
@@ -333,17 +351,29 @@ def _serve(args: list[str]) -> int:
             return 2
         warmups.append((dataset, format_name))
 
+    ab_experiments = []
+    for spec in ns.ab:
+        parts = spec.split(":")
+        if len(parts) != 3 or not all(parts):
+            print(f"error: --ab wants DATASET:FMT_A:FMT_B, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        ab_experiments.append(tuple(parts))
+
     from .serve import serve_forever
 
     try:
         asyncio.run(serve_forever(
             warmups=warmups,
+            ab_experiments=ab_experiments,
             host=ns.host,
             port=ns.port,
             max_batch=ns.max_batch,
             max_delay_ms=ns.max_delay_ms,
             queue_limit=ns.queue_limit,
             executor_workers=ns.workers,
+            adaptive_delay=not ns.no_adaptive_delay,
+            canary_every=ns.canary_every,
         ))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)

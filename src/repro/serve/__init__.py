@@ -12,6 +12,7 @@ See ``docs/serving.md`` for the API, the batching knobs, and the
 bit-exactness argument.
 """
 
+from .ab import ABExperiment
 from .batcher import MicroBatcher, ServiceClosed
 from .client import ServeClient, ServeError
 from .registry import ModelRegistry, ServedModel, build_served_model
@@ -19,6 +20,7 @@ from .server import InferenceServer, ServerHandle, serve_forever, start_in_threa
 from .stats import ServeStats, percentile
 
 __all__ = [
+    "ABExperiment",
     "MicroBatcher",
     "ServiceClosed",
     "ServeClient",

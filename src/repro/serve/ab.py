@@ -1,0 +1,114 @@
+"""A/B serving: two formats for one dataset, with a bit-identity canary.
+
+An :class:`ABExperiment` routes predict requests for one dataset between
+two served models (the same trained parent quantized at two number
+formats) round-robin, so both arms see the same traffic mix.  A sampled
+fraction of routed requests additionally runs the **canary**: the request
+is executed through *both* arms' micro-batchers, and each arm's served
+(batched, coalesced, possibly split) response is compared bit-for-bit
+against a direct, standalone ``predict_patterns`` recompute of the same
+patterns.
+
+Predictions are deterministic integers — quantization is elementwise, the
+kernels are exact, the argmax is per-row — so the served and direct
+answers of the *same* arm can only differ if the serving layer mis-sliced,
+mis-ordered, or mixed up a batch, or a hot-swap left a batcher executing
+a stale network.  Any divergence is therefore a real compile/serve bug and
+trips ``canary_divergences`` (never expected to move; alert on nonzero).
+
+The two *arms*' predictions may legitimately differ from each other — they
+are different number systems.  That cross-arm disagreement is recorded
+separately (``rows_disagreed``) as accuracy observability, not as an
+error; on the rows where the arms' direct computations agree, the canary
+guarantees the served responses are bit-identical too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .registry import ServedModel
+
+__all__ = ["ABExperiment"]
+
+
+@dataclass
+class ABExperiment:
+    """One dataset served A/B across two formats, with canary counters."""
+
+    dataset: str
+    arm_a: ServedModel
+    arm_b: ServedModel
+    canary_every: int = 8  # canary every Nth routed request (0 = never)
+    requests_per_arm: Counter = field(default_factory=Counter)
+    canary_checks: int = 0
+    canary_divergences: int = 0  # served != direct for some arm: a bug
+    rows_compared: int = 0  # canary rows where both arms answered
+    rows_disagreed: int = 0  # arms legitimately predicting differently
+    _router: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arm_a.dataset != self.dataset or (
+            self.arm_b.dataset != self.dataset
+        ):
+            raise ValueError("both arms must serve the experiment's dataset")
+        if self.arm_a.format_name == self.arm_b.format_name:
+            raise ValueError("A/B arms must be two distinct formats")
+        if self.canary_every < 0:
+            raise ValueError("canary_every must be >= 0")
+
+    @property
+    def arms(self) -> tuple[ServedModel, ServedModel]:
+        return (self.arm_a, self.arm_b)
+
+    def route(self) -> tuple[ServedModel, bool]:
+        """Assign the next request to an arm; flag it for the canary.
+
+        Round-robin keeps the split exactly 50/50 and deterministic (no
+        RNG in the serving path); the canary fires every
+        ``canary_every``-th routed request, starting with the first, so
+        a short test run still exercises it.
+        """
+        assigned = self.arms[self._router % 2]
+        canary = (
+            self.canary_every > 0
+            and self._router % self.canary_every == 0
+        )
+        self._router += 1
+        self.requests_per_arm[assigned.format_name] += 1
+        return assigned, canary
+
+    def other(self, model: ServedModel) -> ServedModel:
+        """The arm ``model`` is not."""
+        return self.arm_b if model is self.arm_a else self.arm_a
+
+    def record_canary(
+        self, diverged: bool, rows: int, rows_disagreed: int
+    ) -> None:
+        """Book one canary outcome.
+
+        ``diverged`` — some arm's served response differed from its own
+        direct recompute (a serve bug).  ``rows_disagreed`` — rows where
+        the two arms' (correct) predictions differ, out of ``rows``.
+        """
+        self.canary_checks += 1
+        if diverged:
+            self.canary_divergences += 1
+        self.rows_compared += rows
+        self.rows_disagreed += rows_disagreed
+
+    def describe(self) -> dict:
+        """JSON-ready row for ``GET /ab``."""
+        return {
+            "dataset": self.dataset,
+            "arms": [self.arm_a.format_name, self.arm_b.format_name],
+            "canary_every": self.canary_every,
+            "requests_per_arm": dict(sorted(self.requests_per_arm.items())),
+            "canary": {
+                "checks": self.canary_checks,
+                "divergences": self.canary_divergences,
+                "rows_compared": self.rows_compared,
+                "rows_disagreed": self.rows_disagreed,
+            },
+        }

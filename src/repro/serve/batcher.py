@@ -9,9 +9,17 @@ concurrent single requests into kernel-sized batches:
   (backpressure: when the queue is full, ``submit`` waits, which propagates
   to the HTTP handler and ultimately to TCP);
 * the worker takes the first pending request, then keeps collecting until
-  the stacked batch reaches ``max_batch`` rows or ``max_delay_ms`` elapses
-  since the batch opened — a lone request is flushed at the deadline, a
-  burst fills the batch immediately;
+  the stacked batch reaches ``max_batch`` rows or the coalescing deadline
+  elapses since the batch opened — a lone request is flushed at the
+  deadline, a burst fills the batch immediately;
+* with ``adaptive_delay`` (the default) the deadline is not a fixed
+  ``max_delay_ms`` but an **EWMA-tuned effective delay** in
+  ``[0, max_delay_ms]``: the batcher tracks the exponentially weighted
+  inter-arrival gap of submits, waits roughly the expected time to fill a
+  batch when traffic is dense, and decays toward an immediate flush when
+  the gap grows past the window (sparse traffic gains no batchmates by
+  waiting, so it should not pay the latency).  Timing only — no setting
+  of the knob can change any served bit;
 * the stacked pattern matrix is executed through
   :meth:`~repro.core.positron.PositronNetwork.predict_patterns` on an
   executor thread, in slices of at most ``max_batch`` rows (a multi-row
@@ -61,6 +69,11 @@ class _Pending:
 
 _CLOSE = object()  # queue sentinel; FIFO order makes it drain-then-exit
 
+#: EWMA smoothing factor for the inter-arrival gap estimator: ~the last
+#: dozen arrivals dominate, so the effective delay tracks load shifts
+#: within a few requests without chasing single-gap noise.
+_EWMA_ALPHA = 0.25
+
 
 class MicroBatcher:
     """Coalesces requests for **one** served model (models never cross-batch:
@@ -75,6 +88,7 @@ class MicroBatcher:
         queue_limit: int = 256,
         executor: Executor | None = None,
         stats: ServeStats | None = None,
+        adaptive_delay: bool = True,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -83,11 +97,15 @@ class MicroBatcher:
         self.model = model
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay_ms) / 1000.0
+        self.adaptive_delay = bool(adaptive_delay)
         self.stats = stats if stats is not None else ServeStats()
+        self.generation = 1  # bumped by swap_model (observability only)
         self._executor = executor
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self._task: asyncio.Task | None = None
         self._closing = False
+        self._arrival_gap_s: float | None = None  # EWMA inter-arrival gap
+        self._last_arrival_s: float | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -109,8 +127,10 @@ class MicroBatcher:
             raise ValueError("patterns must be 2-D (rows, features)")
         loop = asyncio.get_running_loop()
         self.start()
+        now = loop.time()
+        self._observe_arrival(now)
         item = _Pending(patterns, patterns.shape[0], loop.create_future(),
-                        loop.time())
+                        now)
         await self._queue.put(item)
         return await item.future
 
@@ -127,10 +147,74 @@ class MicroBatcher:
         if self._task is not None:
             await self._task
 
+    def swap_model(self, model: ServedModel) -> int:
+        """Atomically replace the served model (hot-swap).
+
+        The replacement must serve the same ``(dataset, format)`` key:
+        requests already queued were quantized by the old model, and the
+        per-format decode tables are registry-memoized, so same-key swaps
+        keep every queued pattern meaningful.  The in-flight batch (if
+        any) completes on the old network — ``_execute`` reads
+        ``self.model`` once per batch — and every later batch runs the new
+        one.  Returns the new generation number.
+        """
+        if model.key != self.model.key:
+            raise ValueError(
+                f"cannot swap {self.model.key} to {model.key}: "
+                "a batcher serves exactly one (dataset, format) key"
+            )
+        self.model = model
+        self.generation += 1
+        return self.generation
+
     @property
     def pending(self) -> int:
         """Requests currently queued (excludes the in-flight batch)."""
         return self._queue.qsize()
+
+    # -- adaptive coalescing delay --------------------------------------
+    def _observe_arrival(self, now: float) -> None:
+        if self._last_arrival_s is not None:
+            gap = max(0.0, now - self._last_arrival_s)
+            if self._arrival_gap_s is None:
+                self._arrival_gap_s = gap
+            else:
+                self._arrival_gap_s += _EWMA_ALPHA * (
+                    gap - self._arrival_gap_s
+                )
+        self._last_arrival_s = now
+
+    @property
+    def effective_delay(self) -> float:
+        """The coalescing window (seconds) the next batch will wait.
+
+        * no estimate yet (cold start) or adaptation disabled: the full
+          ``max_delay`` — the conservative fixed-window behavior;
+        * dense traffic (EWMA gap below the window): wait the expected
+          time to *fill* the batch, ``gap * (max_batch - 1)``, capped at
+          ``max_delay`` — a saturating burst closes the batch by count
+          long before any deadline;
+        * sparse traffic (EWMA gap beyond the window): batchmates are
+          unlikely inside the window, so the wait decays as
+          ``max_delay * (max_delay / gap)`` toward an immediate flush.
+
+        Continuous at ``gap == max_delay`` and always in
+        ``[0, max_delay]``.  This is pure scheduling — it can change when
+        a batch executes, never what it computes.
+        """
+        if not self.adaptive_delay or self._arrival_gap_s is None:
+            return self.max_delay
+        gap = self._arrival_gap_s
+        if gap >= self.max_delay:
+            if gap <= 0.0:  # max_delay == 0 and no observed spacing
+                return 0.0
+            return self.max_delay * (self.max_delay / gap)
+        return min(self.max_delay, gap * (self.max_batch - 1))
+
+    @property
+    def effective_delay_ms(self) -> float:
+        """``effective_delay`` in milliseconds (for ``/models``/metrics)."""
+        return self.effective_delay * 1000.0
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -142,15 +226,31 @@ class MicroBatcher:
             batch = [item]
             rows = item.rows
             saw_close = False
-            deadline = loop.time() + self.max_delay
+            deadline = loop.time() + self.effective_delay
             while rows < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
+                    # Deadline hit (possibly a near-zero adaptive window):
+                    # still coalesce the backlog.  One zero-sleep lets
+                    # already-scheduled submitters enqueue, then drain
+                    # without waiting — a same-tick burst batches fully
+                    # even when the window is microseconds.
+                    await asyncio.sleep(0)
+                    while rows < self.max_batch:
+                        try:
+                            nxt = self._queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        if nxt is _CLOSE:
+                            saw_close = True
+                            break
+                        batch.append(nxt)
+                        rows += nxt.rows
                     break
                 try:
                     nxt = await asyncio.wait_for(self._queue.get(), remaining)
                 except asyncio.TimeoutError:
-                    break
+                    continue  # drain-then-flush via the deadline branch
                 if nxt is _CLOSE:
                     saw_close = True
                     break
@@ -179,6 +279,12 @@ class MicroBatcher:
                 chunk = stacked[start:start + cap]
                 parts.append(network.predict_patterns(chunk))
                 sizes.append(chunk.shape[0])
+            if not parts:
+                # Every coalesced request was zero-row: there is nothing
+                # to predict, and ``np.concatenate([])`` would raise and
+                # fail the whole batch.  Answer with an empty prediction
+                # array (each zero-row caller slices an empty view).
+                return np.zeros(0, dtype=np.int64), sizes
             return np.concatenate(parts), sizes
 
         try:

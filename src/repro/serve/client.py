@@ -69,7 +69,8 @@ class ServeClient:
         self.close()
 
     # -- one request/response exchange ----------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 raw: bool = False):
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         message = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -80,9 +81,9 @@ class ServeClient:
         ).encode("latin-1") + body
         if self._sock is None:
             self._sock = self._connect()
-            return self._exchange(message)
+            return self._exchange(message, raw)
         try:
-            return self._exchange(message)
+            return self._exchange(message, raw)
         except TimeoutError:
             # The server may still be executing the request (e.g. a slow
             # first-warmup training run) — re-sending would double the
@@ -94,9 +95,9 @@ class ServeClient:
             # a fresh connection.
             self.close()
             self._sock = self._connect()
-            return self._exchange(message)
+            return self._exchange(message, raw)
 
-    def _exchange(self, message: bytes):
+    def _exchange(self, message: bytes, raw: bool = False):
         self._sock.sendall(message)
         head = self._read_until_head_end()
         lines = head.decode("latin-1").split("\r\n")
@@ -107,10 +108,17 @@ class ServeClient:
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
                 break
-        data = json.loads(self._read_exactly(length)) if length else {}
+        body = self._read_exactly(length) if length else b""
         if status != 200:
+            # Error bodies are JSON even on text endpoints like /metrics.
+            try:
+                data = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                data = {"error": body.decode("utf-8", "replace")}
             raise ServeError(status, data.get("error", "unknown error"))
-        return data
+        if raw:
+            return body.decode("utf-8")
+        return json.loads(body) if length else {}
 
     def _read_until_head_end(self) -> bytes:
         while True:
@@ -141,6 +149,10 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The Prometheus text exposition served by ``GET /metrics``."""
+        return self._request("GET", "/metrics", raw=True)
+
     def models(self) -> dict:
         return self._request("GET", "/models")
 
@@ -150,15 +162,34 @@ class ServeClient:
             "POST", "/warmup", {"dataset": dataset, "format": format_name}
         )
 
-    def predict(self, dataset: str, format_name: str, inputs) -> dict:
-        """Predict classes for ``(rows, features)`` float inputs."""
-        rows = np.asarray(inputs, dtype=np.float64)
+    def swap(self, dataset: str, format_name: str) -> dict:
+        """Hot-swap: rebuild the served model and switch to it atomically."""
         return self._request(
-            "POST",
-            "/predict",
-            {
-                "dataset": dataset,
-                "format": format_name,
-                "inputs": rows.tolist(),
-            },
+            "POST", "/swap", {"dataset": dataset, "format": format_name}
         )
+
+    def start_ab(self, dataset: str, format_a: str, format_b: str,
+                 canary_every: int | None = None) -> dict:
+        """Serve ``dataset`` A/B across two formats with a sampled canary."""
+        payload = {
+            "dataset": dataset, "format_a": format_a, "format_b": format_b,
+        }
+        if canary_every is not None:
+            payload["canary_every"] = canary_every
+        return self._request("POST", "/ab", payload)
+
+    def ab_status(self) -> dict:
+        """Per-experiment routing and canary counters (``GET /ab``)."""
+        return self._request("GET", "/ab")
+
+    def predict(self, dataset: str, format_name: str | None, inputs) -> dict:
+        """Predict classes for ``(rows, features)`` float inputs.
+
+        ``format_name=None`` omits the format field: the server routes
+        the request through the dataset's A/B experiment (400 if none).
+        """
+        rows = np.asarray(inputs, dtype=np.float64)
+        payload = {"dataset": dataset, "inputs": rows.tolist()}
+        if format_name is not None:
+            payload["format"] = format_name
+        return self._request("POST", "/predict", payload)

@@ -151,6 +151,34 @@ class ModelRegistry:
                 self._models[key] = model
         return model
 
+    async def reload(
+        self,
+        dataset: str,
+        format_name: str,
+        executor: Executor | None = None,
+    ) -> ServedModel:
+        """Rebuild a served model and atomically replace the cached entry.
+
+        The hot-swap path (``POST /swap``): the loader/store is consulted
+        again — picking up retrained or repaired artifacts written since
+        the model was first loaded — and the fresh :class:`ServedModel`
+        (new network, newly compiled kernels and fused plan) replaces the
+        old one in a single assignment.  Requests resolving the key during
+        the rebuild keep getting the old model; the per-key lock
+        serializes concurrent reloads.
+        """
+        backend = formats.get(format_name)
+        key = (dataset, backend.name)
+        lock = self._locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            loop = asyncio.get_running_loop()
+            model = await loop.run_in_executor(
+                executor, build_served_model, dataset, backend.name,
+                self.loader,
+            )
+            self._models[key] = model
+        return model
+
     def loaded(self) -> list[ServedModel]:
         """Currently resident models, in load order."""
         return list(self._models.values())

@@ -6,10 +6,14 @@ JSON response, keeping the connection alive between requests.  Endpoints:
 
 ==========================  =================================================
 ``GET  /health``            liveness + loaded-model count
-``GET  /models``            loaded models, known datasets, batching knobs
+``GET  /models``            loaded models, batching knobs, effective delays
 ``POST /warmup``            ``{"dataset", "format"}`` — load/train eagerly
 ``POST /predict``           ``{"dataset", "format", "inputs": [[...], ...]}``
+                            (omit ``format`` to route via an A/B experiment)
 ``GET  /stats``             counters, batch-size histogram, p50/p99 latency
+``GET  /metrics``           the same counters in Prometheus text format
+``POST /swap``              ``{"dataset", "format"}`` — hot-swap the model
+``POST /ab`` / ``GET /ab``  configure / inspect A/B serving experiments
 ==========================  =================================================
 
 One :class:`~repro.serve.batcher.MicroBatcher` per served model coalesces
@@ -33,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .ab import ABExperiment
 from .batcher import MicroBatcher, ServiceClosed
 from .registry import ModelRegistry, ServedModel
 from .stats import ServeStats
@@ -79,6 +84,8 @@ class InferenceServer:
         queue_limit: int = 256,
         executor_workers: int = 2,
         submit_timeout_s: float = 60.0,
+        adaptive_delay: bool = True,
+        canary_every: int = 8,
     ):
         # Fail at construction, not on the first request: these values are
         # otherwise only exercised when a batcher is built or a queue fills.
@@ -92,6 +99,8 @@ class InferenceServer:
             raise ValueError("executor_workers must be >= 1")
         if submit_timeout_s <= 0:
             raise ValueError("submit_timeout_s must be > 0")
+        if canary_every < 0:
+            raise ValueError("canary_every must be >= 0")
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -99,12 +108,16 @@ class InferenceServer:
         self.max_delay_ms = max_delay_ms
         self.queue_limit = queue_limit
         self.submit_timeout_s = submit_timeout_s
+        self.adaptive_delay = bool(adaptive_delay)
+        self.canary_every = int(canary_every)
         self.stats = ServeStats()
         self._batchers: dict[str, MicroBatcher] = {}
+        self._experiments: dict[str, ABExperiment] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-serve"
         )
         self._server: asyncio.base_events.Server | None = None
+        self._closing = False
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -117,7 +130,16 @@ class InferenceServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
-        """Stop accepting, drain every batcher queue, release the executor."""
+        """Stop accepting, drain every batcher queue, release the executor.
+
+        Idempotent, and ordered so an in-flight request racing shutdown
+        cannot create a fresh batcher on a dead executor: ``_closing``
+        flips *before* the batchers drain, and :meth:`batcher_for`
+        refuses (``ServiceClosed`` -> 503) from that point on.
+        """
+        if self._closing:
+            return
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -128,9 +150,18 @@ class InferenceServer:
         self._executor.shutdown(wait=True)
 
     def batcher_for(self, model: ServedModel) -> MicroBatcher:
-        """This model's batcher, created (and started) on first use."""
+        """This model's batcher, created (and started) on first use.
+
+        Raises :class:`ServiceClosed` once shutdown has begun — a late
+        request must get a 503, not a fresh undrained batcher whose
+        executor is already shut down.
+        """
         batcher = self._batchers.get(model.key)
         if batcher is None:
+            if self._closing:
+                raise ServiceClosed(
+                    "server is shutting down; not accepting new work"
+                )
             batcher = MicroBatcher(
                 model,
                 max_batch=self.max_batch,
@@ -138,6 +169,7 @@ class InferenceServer:
                 queue_limit=self.queue_limit,
                 executor=self._executor,
                 stats=self.stats,
+                adaptive_delay=self.adaptive_delay,
             )
             batcher.start()
             self._batchers[model.key] = batcher
@@ -158,8 +190,12 @@ class InferenceServer:
                     break
                 method, path, headers, body = request
                 close_conn = headers.get("connection", "").lower() == "close"
+                content_type = "application/json"
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    result = await self._dispatch(method, path, body)
+                    status, payload = result[0], result[1]
+                    if len(result) > 2:  # /metrics returns its own type
+                        content_type = result[2]
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
                 except ServiceClosed as exc:
@@ -171,7 +207,9 @@ class InferenceServer:
                     if not getattr(exc, "_repro_counted", False):
                         self.stats.record_error()
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-                await self._write_response(writer, status, payload, close_conn)
+                await self._write_response(
+                    writer, status, payload, close_conn, content_type
+                )
                 if close_conn:
                     break
         except (asyncio.IncompleteReadError, ConnectionError):
@@ -220,9 +258,13 @@ class InferenceServer:
         return method.upper(), path, headers, body
 
     @staticmethod
-    async def _write_response(writer, status, payload, close_conn) -> None:
+    async def _write_response(
+        writer, status, payload, close_conn,
+        content_type: str = "application/json",
+    ) -> None:
         # ``payload`` may arrive pre-encoded (bulk predict responses are
-        # serialized on the executor to keep the event loop responsive).
+        # serialized on the executor to keep the event loop responsive;
+        # /metrics renders Prometheus text).
         body = (
             payload
             if isinstance(payload, bytes)
@@ -230,7 +272,7 @@ class InferenceServer:
         )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close_conn else 'keep-alive'}\r\n"
             "\r\n"
@@ -251,6 +293,23 @@ class InferenceServer:
         if path == "/stats":
             self._require(method, "GET")
             return 200, self.stats.snapshot()
+        if path == "/metrics":
+            self._require(method, "GET")
+            text = self.stats.render_prometheus(
+                queue_depths={
+                    key: batcher.pending
+                    for key, batcher in self._batchers.items()
+                },
+                effective_delay_ms={
+                    key: round(batcher.effective_delay_ms, 6)
+                    for key, batcher in self._batchers.items()
+                },
+            )
+            return (
+                200,
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         if path == "/models":
             self._require(method, "GET")
             return 200, {
@@ -259,12 +318,32 @@ class InferenceServer:
                     "max_batch": self.max_batch,
                     "max_delay_ms": self.max_delay_ms,
                     "queue_limit": self.queue_limit,
+                    "adaptive_delay": self.adaptive_delay,
+                    "effective_delay_ms": {
+                        key: round(batcher.effective_delay_ms, 3)
+                        for key, batcher in sorted(self._batchers.items())
+                    },
+                },
+                "ab": {
+                    dataset: exp.describe()
+                    for dataset, exp in sorted(self._experiments.items())
                 },
             }
         if path == "/warmup":
             self._require(method, "POST")
             model = await self._resolve_model(self._json_body(body))
             return 200, model.describe()
+        if path == "/swap":
+            self._require(method, "POST")
+            return 200, await self._swap(self._json_body(body))
+        if path == "/ab":
+            if method == "GET":
+                return 200, {
+                    dataset: exp.describe()
+                    for dataset, exp in sorted(self._experiments.items())
+                }
+            self._require(method, "POST")
+            return 200, await self._configure_ab(self._json_body(body))
         if path == "/predict":
             self._require(method, "POST")
             return 200, await self._predict(body)
@@ -318,6 +397,161 @@ class InferenceServer:
             )
         return model.quantize(inputs)
 
+    # -- model lifecycle operations (hot-swap, A/B) ---------------------
+    async def _swap(self, payload: dict) -> dict:
+        """``POST /swap``: rebuild one served model and switch to it.
+
+        The registry entry is replaced atomically, the live batcher (if
+        one exists) flips to the new network between batches, and any A/B
+        arm pointing at the key follows — so the canary keeps comparing
+        served output against the network that actually serves.
+        """
+        if self._closing:
+            raise ServiceClosed("server is shutting down; cannot swap")
+        dataset = payload.get("dataset")
+        format_name = payload.get("format")
+        if not isinstance(dataset, str) or not isinstance(format_name, str):
+            raise _HttpError(400, "need string fields 'dataset' and 'format'")
+        try:
+            model = await self.registry.reload(
+                dataset, format_name, executor=self._executor
+            )
+        except KeyError as exc:
+            raise _HttpError(400, str(exc.args[0])) from None
+        batcher = self._batchers.get(model.key)
+        generation = (
+            batcher.swap_model(model) if batcher is not None else 1
+        )
+        for experiment in self._experiments.values():
+            if experiment.arm_a.key == model.key:
+                experiment.arm_a = model
+            if experiment.arm_b.key == model.key:
+                experiment.arm_b = model
+        self.stats.record_swap()
+        return {
+            "swapped": model.key,
+            "generation": generation,
+            "model": model.describe(),
+        }
+
+    async def _configure_ab(self, payload: dict) -> dict:
+        """``POST /ab``: serve one dataset A/B across two formats."""
+        dataset = payload.get("dataset")
+        format_a = payload.get("format_a")
+        format_b = payload.get("format_b")
+        canary_every = payload.get("canary_every", self.canary_every)
+        if not (
+            isinstance(dataset, str)
+            and isinstance(format_a, str)
+            and isinstance(format_b, str)
+        ):
+            raise _HttpError(
+                400, "need string fields 'dataset', 'format_a', 'format_b'"
+            )
+        if (
+            isinstance(canary_every, bool)
+            or not isinstance(canary_every, int)
+            or canary_every < 0
+        ):
+            raise _HttpError(400, "'canary_every' must be an integer >= 0")
+        try:
+            arm_a = await self.registry.get(
+                dataset, format_a, executor=self._executor
+            )
+            arm_b = await self.registry.get(
+                dataset, format_b, executor=self._executor
+            )
+            experiment = ABExperiment(
+                dataset, arm_a, arm_b, canary_every=canary_every
+            )
+        except KeyError as exc:
+            raise _HttpError(400, str(exc.args[0])) from None
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        self._experiments[dataset] = experiment
+        return experiment.describe()
+
+    async def configure_ab(
+        self,
+        dataset: str,
+        format_a: str,
+        format_b: str,
+        canary_every: int | None = None,
+    ) -> dict:
+        """Register (or replace) an A/B experiment — the CLI ``--ab`` path."""
+        payload = {
+            "dataset": dataset, "format_a": format_a, "format_b": format_b,
+        }
+        if canary_every is not None:
+            payload["canary_every"] = canary_every
+        try:
+            return await self._configure_ab(payload)
+        except _HttpError as exc:
+            raise ValueError(exc.message) from None
+
+    # -- the predict path -----------------------------------------------
+    async def _submit(self, model: ServedModel, patterns) -> np.ndarray:
+        """Submit patterns to the model's batcher with the 503 timeout."""
+        batcher = self.batcher_for(model)
+        try:
+            return await asyncio.wait_for(
+                batcher.submit(patterns), self.submit_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.record_rejected()
+            raise _HttpError(503, "prediction queue saturated; retry") from None
+
+    async def _run_canary(
+        self,
+        experiment: ABExperiment,
+        model: ServedModel,
+        patterns: np.ndarray,
+        served: np.ndarray,
+        payload: dict,
+        offload: bool,
+    ) -> dict:
+        """One sampled bit-identity check: both arms, served vs direct.
+
+        The other arm quantizes the same float inputs with its own engine
+        and answers through its own (batched) path; each arm's served
+        response is then compared against a standalone
+        ``predict_patterns`` recompute of its own patterns.  A mismatch
+        on either arm means the serving layer changed bits — counted as
+        a divergence.  Cross-arm disagreement (two formats legitimately
+        predicting different classes) is tracked separately.
+        """
+        other = experiment.other(model)
+        loop = asyncio.get_running_loop()
+        if offload:
+            other_patterns = await loop.run_in_executor(
+                self._executor, self._quantize_inputs, other, payload
+            )
+        else:
+            other_patterns = self._quantize_inputs(other, payload)
+        served_other = await self._submit(other, other_patterns)
+
+        def recompute():
+            return (
+                model.network.predict_patterns(patterns),
+                other.network.predict_patterns(other_patterns),
+            )
+
+        direct, direct_other = await loop.run_in_executor(
+            self._executor, recompute
+        )
+        diverged = not (
+            np.array_equal(served, direct)
+            and np.array_equal(served_other, direct_other)
+        )
+        rows_disagreed = int(np.count_nonzero(direct != direct_other))
+        experiment.record_canary(diverged, len(direct), rows_disagreed)
+        self.stats.record_canary(diverged)
+        return {
+            "checked": True,
+            "diverged": diverged,
+            "rows_disagreed": rows_disagreed,
+        }
+
     async def _predict(self, body: bytes) -> dict:
         offload = len(body) > _INLINE_BODY_BYTES
         loop = asyncio.get_running_loop()
@@ -327,21 +561,29 @@ class InferenceServer:
             )
         else:
             payload = self._json_body(body)
-        model = await self._resolve_model(payload)
+        experiment = canary = None
+        dataset = payload.get("dataset")
+        if payload.get("format") is None and isinstance(dataset, str):
+            experiment = self._experiments.get(dataset)
+        if experiment is not None:
+            model, canary = experiment.route()
+        else:
+            model = await self._resolve_model(payload)
         if offload:
             patterns = await loop.run_in_executor(
                 self._executor, self._quantize_inputs, model, payload
             )
         else:
             patterns = self._quantize_inputs(model, payload)
-        batcher = self.batcher_for(model)
-        try:
-            predictions = await asyncio.wait_for(
-                batcher.submit(patterns), self.submit_timeout_s
-            )
-        except asyncio.TimeoutError:
-            self.stats.record_rejected()
-            raise _HttpError(503, "prediction queue saturated; retry") from None
+        predictions = await self._submit(model, patterns)
+        ab_info = None
+        if experiment is not None:
+            ab_info = {"arm": model.format_name, "canary": bool(canary)}
+            if canary:
+                ab_info["canary_result"] = await self._run_canary(
+                    experiment, model, patterns, predictions, payload,
+                    offload,
+                )
 
         def render():
             classes = [int(c) for c in predictions]
@@ -351,6 +593,8 @@ class InferenceServer:
                 "predictions": classes,
                 "labels": [model.class_names[c] for c in classes],
             }
+            if ab_info is not None:
+                payload["ab"] = ab_info
             return json.dumps(payload).encode("utf-8") if offload else payload
 
         if offload:
@@ -422,11 +666,12 @@ def start_in_thread(**server_kwargs) -> ServerHandle:
     )
 
 
-async def serve_forever(warmups=(), **server_kwargs) -> None:
+async def serve_forever(warmups=(), ab_experiments=(), **server_kwargs) -> None:
     """Run a server in the current event loop until cancelled (CLI path).
 
     ``warmups`` is a sequence of ``(dataset, format_name)`` pairs to load
-    before the listening banner is printed.
+    before the listening banner is printed; ``ab_experiments`` is a
+    sequence of ``(dataset, format_a, format_b)`` triples to serve A/B.
     """
     server = InferenceServer(**server_kwargs)
     await server.start()
@@ -435,6 +680,13 @@ async def serve_forever(warmups=(), **server_kwargs) -> None:
             dataset, format_name, executor=server._executor
         )
         print(f"warmed up {model.key}", file=sys.stderr, flush=True)
+    for dataset, format_a, format_b in ab_experiments:
+        described = await server.configure_ab(dataset, format_a, format_b)
+        print(
+            f"A/B serving {dataset}: {'/'.join(described['arms'])} "
+            f"(canary every {described['canary_every']})",
+            file=sys.stderr, flush=True,
+        )
     print(
         f"repro.serve listening on http://{server.host}:{server.port} "
         f"(max_batch={server.max_batch}, max_delay_ms={server.max_delay_ms})",

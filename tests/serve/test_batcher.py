@@ -378,3 +378,182 @@ class TestValidation:
         outcomes = asyncio.run(scenario())
         assert all(isinstance(o, RuntimeError) for o in outcomes)
         assert stats.errors >= 1
+
+
+class TestZeroRowRequests:
+    """Regression: a (0, features) request used to produce an empty
+    ``parts`` list in ``_execute`` — ``np.concatenate([])`` raised and
+    failed the whole coalesced batch."""
+
+    def test_lone_zero_row_request_gets_empty_predictions(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            stats = ServeStats()
+            batcher = MicroBatcher(
+                model, max_batch=8, max_delay_ms=1.0, stats=stats
+            )
+            result = await batcher.submit(model.quantize(toy_inputs(0)))
+            await batcher.close()
+            return result, stats
+
+        result, stats = asyncio.run(scenario())
+        assert result.shape == (0,)
+        assert result.dtype == np.int64
+        assert stats.errors == 0
+        assert stats.requests == 1 and stats.samples == 0
+
+    def test_zero_row_coalesced_with_normal_requests(self, toy_inputs):
+        """A zero-row request batched alongside real ones must not poison
+        the batch: everyone gets their own (possibly empty) slice."""
+        model = toy_model()
+        x = toy_inputs(3)
+
+        async def scenario():
+            stats = ServeStats()
+            batcher = MicroBatcher(
+                model, max_batch=8, max_delay_ms=200.0, stats=stats
+            )
+            empty, full = await _submit_burst(
+                batcher, [model.quantize(toy_inputs(0)), model.quantize(x)]
+            )
+            await batcher.close()
+            return empty, full, stats
+
+        empty, full, stats = asyncio.run(scenario())
+        assert empty.shape == (0,)
+        np.testing.assert_array_equal(full, model.network.predict(x))
+        assert stats.errors == 0
+
+    def test_all_zero_row_burst(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            batcher = MicroBatcher(model, max_batch=8, max_delay_ms=200.0)
+            results = await _submit_burst(
+                batcher, [model.quantize(toy_inputs(0)) for _ in range(3)]
+            )
+            await batcher.close()
+            return results
+
+        for result in asyncio.run(scenario()):
+            assert result.shape == (0,)
+
+
+class TestAdaptiveDelay:
+    """Unit tests for the EWMA-tuned effective coalescing window.  Pure
+    scheduling: none of these change any served bit (the bit-identity
+    suites above run with adaptation on, the default)."""
+
+    def _batcher(self, **kw):
+        kw.setdefault("max_batch", 8)
+        kw.setdefault("max_delay_ms", 2.0)
+        return MicroBatcher(toy_model(), **kw)
+
+    def test_cold_start_uses_full_window(self):
+        batcher = self._batcher()
+        assert batcher.effective_delay == batcher.max_delay
+        assert batcher.effective_delay_ms == 2.0
+
+    def test_disabled_always_uses_full_window(self):
+        batcher = self._batcher(adaptive_delay=False)
+        batcher._arrival_gap_s = 1e-6  # would shrink the window if enabled
+        assert batcher.effective_delay == batcher.max_delay
+
+    def test_dense_traffic_waits_expected_fill_time(self):
+        batcher = self._batcher()  # max_delay = 2ms, max_batch = 8
+        batcher._arrival_gap_s = 0.0001  # 0.1ms gaps
+        # expected fill: gap * (max_batch - 1) = 0.7ms < 2ms cap
+        assert batcher.effective_delay == pytest.approx(0.0007)
+
+    def test_dense_traffic_capped_at_max_delay(self):
+        batcher = self._batcher()
+        batcher._arrival_gap_s = 0.0015  # fill time 10.5ms > 2ms cap
+        assert batcher.effective_delay == pytest.approx(0.002)
+
+    def test_sparse_traffic_decays_toward_zero(self):
+        batcher = self._batcher()  # max_delay = 2ms
+        batcher._arrival_gap_s = 0.004  # 2x the window
+        assert batcher.effective_delay == pytest.approx(0.001)
+        batcher._arrival_gap_s = 0.2  # 100x the window
+        assert batcher.effective_delay == pytest.approx(0.00002)
+
+    def test_continuous_at_the_window_boundary(self):
+        batcher = self._batcher()
+        batcher._arrival_gap_s = batcher.max_delay
+        # Both branches give max_delay * 1 here (dense side caps at
+        # max_delay since gap * 7 > max_delay).
+        assert batcher.effective_delay == pytest.approx(batcher.max_delay)
+
+    def test_bounded_in_zero_to_max_delay(self):
+        batcher = self._batcher()
+        for gap in (0.0, 1e-9, 1e-4, 2e-3, 5e-3, 1.0, 1e3):
+            batcher._arrival_gap_s = gap
+            assert 0.0 <= batcher.effective_delay <= batcher.max_delay
+
+    def test_ewma_update_tracks_arrivals(self):
+        batcher = self._batcher()
+        batcher._observe_arrival(10.0)
+        assert batcher._arrival_gap_s is None  # first arrival: no gap yet
+        batcher._observe_arrival(10.1)
+        assert batcher._arrival_gap_s == pytest.approx(0.1)
+        batcher._observe_arrival(10.3)
+        # gap 0.2, EWMA with alpha 0.25: 0.1 + 0.25 * (0.2 - 0.1)
+        assert batcher._arrival_gap_s == pytest.approx(0.125)
+
+    def test_ewma_clamps_clock_regression_to_zero_gap(self):
+        batcher = self._batcher()
+        batcher._observe_arrival(10.0)
+        batcher._observe_arrival(9.0)  # loop.time() never regresses, but
+        assert batcher._arrival_gap_s == 0.0  # the estimator shrugs it off
+
+    def test_sparse_traffic_flushes_much_faster_than_the_window(
+        self, toy_inputs
+    ):
+        """Integration: after sparse arrivals, a lone request should not
+        pay anywhere near the full (long) coalescing window."""
+        model = toy_model()
+        window_ms = 500.0
+        x = toy_inputs(1)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model, max_batch=8, max_delay_ms=window_ms
+            )
+            # Seed the estimator with very sparse traffic: gaps 100x the
+            # window -> effective delay 500ms * (500ms / 50s) = 5ms.
+            batcher._arrival_gap_s = 50.0
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            result = await batcher.submit(model.quantize(x))
+            elapsed = loop.time() - start
+            await batcher.close()
+            return result, elapsed
+
+        result, elapsed = asyncio.run(scenario())
+        np.testing.assert_array_equal(result, model.network.predict(x))
+        # Far below the fixed 500ms window a non-adaptive batcher pays.
+        assert elapsed < 0.25
+
+    def test_fixed_window_still_honored_when_disabled(self, toy_inputs):
+        model = toy_model()
+
+        async def scenario():
+            batcher = MicroBatcher(
+                model,
+                max_batch=8,
+                max_delay_ms=60.0,
+                adaptive_delay=False,
+            )
+            patterns = model.quantize(toy_inputs(1))
+            await batcher.submit(patterns)
+            await asyncio.sleep(0.005)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await batcher.submit(patterns)
+            elapsed = loop.time() - start
+            await batcher.close()
+            return elapsed
+
+        # With adaptation off, the lone request waits the full window.
+        assert asyncio.run(scenario()) >= 0.03

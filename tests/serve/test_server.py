@@ -239,3 +239,79 @@ class TestConcurrentLoad:
             if count != baseline.get(size, 0)
         }
         assert max(grew) > 1, f"no coalescing observed: {grew}"
+
+
+class TestMetricsEndpoint:
+    def test_metrics_is_valid_prometheus_text(self, client, rng):
+        """GET /metrics serves the text exposition format with the right
+        Content-Type, and the counters line up with /stats."""
+        client.warmup("toy", "posit8_1")
+        client.predict("toy", "posit8_1", rng.normal(size=(2, 4)))
+        text = client.metrics()
+        stats = client.stats()
+
+        from .test_stats import parse_exposition
+
+        families = parse_exposition(text)
+        assert "# TYPE repro_serve_requests_total counter\n" in text
+        requests = dict(families["repro_serve_requests_total"])
+        assert requests[""] == float(stats["requests"])
+        # The batch-size histogram is cumulative and +Inf == batch count.
+        buckets = dict(families["repro_serve_batch_size"])
+        assert buckets['le="+Inf"'] == float(stats["batches"])
+        # Per-batcher gauges appear once a model has taken traffic.
+        depth = dict(families["repro_serve_queue_depth"])
+        assert 'model="toy/posit8_1"' in depth
+        delays = dict(families["repro_serve_effective_delay_ms"])
+        assert delays['model="toy/posit8_1"'] >= 0.0
+
+    def test_metrics_content_type_is_prometheus_text(self, handle, client):
+        client.predict("toy", "posit8_1", np.zeros((1, 4)))
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", handle.server.port), timeout=10.0
+        ) as sock:
+            sock.sendall(
+                b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 0\r\n\r\n"
+            )
+            head = b""
+            while b"\r\n\r\n" not in head:
+                head += sock.recv(65536)
+        headers = head.decode("latin-1").lower()
+        assert "200" in headers.split("\r\n", 1)[0]
+        assert "content-type: text/plain; version=0.0.4" in headers
+
+    def test_metrics_via_post_is_405(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/metrics", {})
+        assert err.value.status == 405
+
+
+class TestAdaptiveKnobSurface:
+    def test_models_reports_adaptive_delay_and_effective_windows(
+        self, client, rng
+    ):
+        client.predict("toy", "posit8_1", rng.normal(size=(1, 4)))
+        listing = client.models()
+        batching = listing["batching"]
+        assert batching["adaptive_delay"] is True
+        assert "toy/posit8_1" in batching["effective_delay_ms"]
+        assert (
+            0.0
+            <= batching["effective_delay_ms"]["toy/posit8_1"]
+            <= batching["max_delay_ms"]
+        )
+
+    def test_adaptive_delay_off_is_reported(self):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(
+            registry=registry, port=0, adaptive_delay=False, max_delay_ms=3.0
+        ) as off_handle:
+            with ServeClient(port=off_handle.server.port) as c:
+                c.predict("toy", "posit8_1", np.zeros((2, 4)))
+                batching = c.models()["batching"]
+        assert batching["adaptive_delay"] is False
+        # Fixed window: the effective delay equals max_delay_ms.
+        assert batching["effective_delay_ms"]["toy/posit8_1"] == 3.0

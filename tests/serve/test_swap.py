@@ -1,0 +1,445 @@
+"""Model hot-swap (``POST /swap``) and A/B serving with the canary.
+
+The canary contract under test: for any mix of requests routed through an
+A/B experiment, every arm's served (batched, coalesced, split) response is
+bit-identical to a direct ``predict`` of the network that served it — so
+the divergence counter stays at zero unless the serving layer itself is
+broken, which the sabotage test proves it detects.  Cross-arm agreement
+is the complementary property: on rows where the two formats' direct
+predictions agree, the served responses agree too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.model import MLP
+from repro.serve import (
+    ABExperiment,
+    ModelRegistry,
+    ServeClient,
+    ServeError,
+    ServiceClosed,
+    start_in_thread,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.registry import build_served_model
+from repro.serve.server import InferenceServer
+
+from .conftest import TOY_SPECS, tiny_loader
+
+
+class VersionedLoader:
+    """A loader whose weights change every time ``version`` is bumped —
+    the test stand-in for retraining/repairing an artifact in the store."""
+
+    def __init__(self):
+        self.version = 0
+
+    def __call__(self, dataset: str):
+        base = tiny_loader(dataset)
+        if self.version:
+            topology, _, seed = TOY_SPECS[dataset]
+            base.model = MLP(
+                topology, np.random.default_rng(seed + 1000 * self.version)
+            )
+        return base
+
+
+def _predict_body(dataset: str, inputs, format_name: str | None = None):
+    payload = {"dataset": dataset, "inputs": np.asarray(inputs).tolist()}
+    if format_name is not None:
+        payload["format"] = format_name
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestSwapUnit:
+    def test_batcher_swap_requires_same_key(self, toy_inputs):
+        batcher = MicroBatcher(build_served_model("toy", "posit8_1", tiny_loader))
+        other = build_served_model("toy", "float4_3", tiny_loader)
+        with pytest.raises(ValueError, match="exactly one"):
+            batcher.swap_model(other)
+
+    def test_batcher_swap_bumps_generation_and_network(self, toy_inputs):
+        loader = VersionedLoader()
+        batcher = MicroBatcher(build_served_model("toy", "posit8_1", loader))
+        assert batcher.generation == 1
+        loader.version = 1
+        replacement = build_served_model("toy", "posit8_1", loader)
+        assert batcher.swap_model(replacement) == 2
+        assert batcher.model is replacement
+
+    def test_registry_reload_replaces_cached_entry(self):
+        loader = VersionedLoader()
+        registry = ModelRegistry(loader=loader)
+
+        async def scenario():
+            first = await registry.get("toy", "posit8_1")
+            loader.version = 1
+            second = await registry.reload("toy", "posit8_1")
+            cached = await registry.get("toy", "posit8_1")
+            return first, second, cached
+
+        first, second, cached = asyncio.run(scenario())
+        assert cached is second and second is not first
+        assert first.network is not second.network  # rebuilt, not re-cached
+
+    def test_swapped_batcher_serves_the_new_network(self, toy_inputs):
+        loader = VersionedLoader()
+        old = build_served_model("toy", "posit8_1", loader)
+        loader.version = 1
+        new = build_served_model("toy", "posit8_1", loader)
+        x = toy_inputs(32)
+        # Deterministic seeds: the two versions must actually disagree
+        # somewhere, or the swap test proves nothing.
+        assert not np.array_equal(old.network.predict(x), new.network.predict(x))
+
+        async def scenario():
+            batcher = MicroBatcher(old, max_batch=8, max_delay_ms=1.0)
+            before = await batcher.submit(old.quantize(x))
+            batcher.swap_model(new)
+            after = await batcher.submit(new.quantize(x))
+            await batcher.close()
+            return before, after
+
+        before, after = asyncio.run(scenario())
+        np.testing.assert_array_equal(before, old.network.predict(x))
+        np.testing.assert_array_equal(after, new.network.predict(x))
+
+
+class TestSwapEndpoint:
+    def test_swap_over_http_switches_served_predictions(self, rng):
+        loader = VersionedLoader()
+        registry = ModelRegistry(loader=loader)
+        x = rng.normal(size=(32, 4))
+        with start_in_thread(
+            registry=registry, port=0, max_batch=8, max_delay_ms=1.0
+        ) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                before = client.predict("toy", "posit8_1", x)["predictions"]
+                loader.version = 1
+                swapped = client.swap("toy", "posit8_1")
+                after = client.predict("toy", "posit8_1", x)["predictions"]
+                stats = client.stats()
+        assert swapped["swapped"] == "toy/posit8_1"
+        assert swapped["generation"] == 2
+        old = build_served_model("toy", "posit8_1", VersionedLoader())
+        new_loader = VersionedLoader()
+        new_loader.version = 1
+        new = build_served_model("toy", "posit8_1", new_loader)
+        assert before == old.network.predict(x).tolist()
+        assert after == new.network.predict(x).tolist()
+        assert before != after  # seeds chosen so the swap is observable
+        assert stats["swaps"] == 1
+
+    def test_swap_before_any_traffic_starts_at_generation_one(self):
+        registry = ModelRegistry(loader=VersionedLoader())
+        with start_in_thread(registry=registry, port=0) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                swapped = client.swap("toy", "posit8_1")
+        assert swapped["generation"] == 1  # no batcher existed yet
+
+    def test_swap_unknown_dataset_400(self):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(registry=registry, port=0) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                with pytest.raises(ServeError) as err:
+                    client.swap("nope", "posit8_1")
+        assert err.value.status == 400
+
+    def test_swap_missing_fields_400(self):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(registry=registry, port=0) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                with pytest.raises(ServeError) as err:
+                    client._request("POST", "/swap", {"dataset": "toy"})
+        assert err.value.status == 400
+
+
+class TestABExperimentUnit:
+    def test_round_robin_and_canary_cadence(self):
+        arm_a = build_served_model("toy", "posit8_1", tiny_loader)
+        arm_b = build_served_model("toy", "float4_3", tiny_loader)
+        experiment = ABExperiment("toy", arm_a, arm_b, canary_every=3)
+        routed = [experiment.route() for _ in range(12)]
+        arms = [model.format_name for model, _ in routed]
+        assert arms == ["posit8_1", "float4_3"] * 6
+        canaries = [canary for _, canary in routed]
+        assert canaries == [True, False, False] * 4
+        assert experiment.requests_per_arm == {
+            "posit8_1": 6, "float4_3": 6,
+        }
+
+    def test_rejects_mismatched_dataset_and_same_format(self):
+        arm_a = build_served_model("toy", "posit8_1", tiny_loader)
+        arm_b = build_served_model("toy", "float4_3", tiny_loader)
+        other = build_served_model("toy2", "float4_3", tiny_loader)
+        with pytest.raises(ValueError):
+            ABExperiment("toy", arm_a, other)
+        with pytest.raises(ValueError):
+            ABExperiment("toy", arm_a, arm_a)
+        with pytest.raises(ValueError):
+            ABExperiment("toy", arm_a, arm_b, canary_every=-1)
+
+    def test_canary_zero_never_fires(self):
+        arm_a = build_served_model("toy", "posit8_1", tiny_loader)
+        arm_b = build_served_model("toy", "float4_3", tiny_loader)
+        experiment = ABExperiment("toy", arm_a, arm_b, canary_every=0)
+        assert not any(canary for _, canary in (experiment.route() for _ in range(8)))
+
+
+class TestABServing:
+    def test_configure_and_route_over_http(self, rng):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(
+            registry=registry, port=0, max_batch=8, max_delay_ms=1.0
+        ) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                described = client.start_ab(
+                    "toy", "posit8_1", "float4_3", canary_every=2
+                )
+                assert described["arms"] == ["posit8_1", "float4_3"]
+                responses = [
+                    client.predict("toy", None, rng.normal(size=(2, 4)))
+                    for _ in range(8)
+                ]
+                status = client.ab_status()["toy"]
+                listing = client.models()
+        arms = [r["ab"]["arm"] for r in responses]
+        assert arms == ["posit8_1", "float4_3"] * 4
+        assert all(r["format"] == r["ab"]["arm"] for r in responses)
+        assert status["requests_per_arm"] == {"posit8_1": 4, "float4_3": 4}
+        assert status["canary"]["checks"] == 4
+        assert status["canary"]["divergences"] == 0
+        assert listing["ab"]["toy"]["arms"] == ["posit8_1", "float4_3"]
+
+    def test_predict_without_format_and_no_experiment_is_400(self, rng):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(registry=registry, port=0) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                with pytest.raises(ServeError) as err:
+                    client.predict("toy", None, rng.normal(size=(1, 4)))
+        assert err.value.status == 400
+
+    def test_ab_unknown_format_400(self):
+        registry = ModelRegistry(loader=tiny_loader)
+        with start_in_thread(registry=registry, port=0) as handle:
+            with ServeClient(port=handle.server.port) as client:
+                with pytest.raises(ServeError) as err:
+                    client.start_ab("toy", "posit8_1", "posit99_99")
+        assert err.value.status == 400
+
+
+#: Direct-prediction oracles per arm, shared across the property test.
+_ORACLES = {
+    name: build_served_model("toy", name, tiny_loader)
+    for name in ("posit8_1", "float4_3")
+}
+
+
+class TestABCanaryProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        row_counts=st.lists(st.integers(1, 6), min_size=2, max_size=10),
+        seed=st.integers(0, 2**32 - 1),
+        max_batch=st.integers(1, 5),
+    )
+    def test_canaried_responses_bit_identical_to_direct(
+        self, row_counts, seed, max_batch
+    ):
+        """Property: under full canary sampling, any A/B request mix shows
+        zero divergences, every response matches its arm's direct
+        ``predict``, and the arms agree wherever their direct predictions
+        agree."""
+        gen = np.random.default_rng(seed)
+        requests = [gen.normal(scale=1.5, size=(rows, 4)) for rows in row_counts]
+
+        async def scenario():
+            server = InferenceServer(
+                registry=ModelRegistry(loader=tiny_loader),
+                max_batch=max_batch,
+                max_delay_ms=1.0,
+                canary_every=1,  # canary every routed request
+            )
+            await server.configure_ab("toy", "posit8_1", "float4_3")
+            bodies = [_predict_body("toy", x) for x in requests]
+            responses = await asyncio.gather(
+                *(server._predict(body) for body in bodies)
+            )
+            experiment = server._experiments["toy"]
+            stats = server.stats.snapshot()
+            await server.close()
+            return responses, experiment, stats
+
+        responses, experiment, stats = asyncio.run(scenario())
+        assert experiment.canary_checks == len(requests)
+        assert experiment.canary_divergences == 0
+        assert stats["canary"]["divergences"] == 0
+        disagreed = 0
+        for x, response in zip(requests, responses):
+            arm = response["ab"]["arm"]
+            direct = _ORACLES[arm].network.predict(x)
+            assert response["predictions"] == direct.tolist()
+            # Where the two formats' direct predictions agree, the served
+            # answer (whichever arm produced it) is that shared value.
+            direct_a = _ORACLES["posit8_1"].network.predict(x)
+            direct_b = _ORACLES["float4_3"].network.predict(x)
+            agreed = direct_a == direct_b
+            served = np.asarray(response["predictions"])
+            np.testing.assert_array_equal(served[agreed], direct_a[agreed])
+            disagreed += int(np.count_nonzero(~agreed))
+        assert experiment.rows_compared == sum(r.shape[0] for r in requests)
+        assert experiment.rows_disagreed == disagreed
+
+
+class TestCanaryCatchesServeBugs:
+    def test_sabotaged_batcher_trips_the_divergence_counter(self, rng):
+        """Replace one arm's serving network with a liar (keeping the
+        experiment's oracle intact): the canary must report divergence —
+        the property that makes hot-swap safe to operate."""
+        x = rng.normal(size=(3, 4))
+
+        async def scenario():
+            server = InferenceServer(
+                registry=ModelRegistry(loader=tiny_loader),
+                max_batch=4,
+                max_delay_ms=1.0,
+                canary_every=1,
+            )
+            await server.configure_ab("toy", "posit8_1", "float4_3")
+            experiment = server._experiments["toy"]
+            arm_a = experiment.arm_a
+            batcher = server.batcher_for(arm_a)
+
+            class LyingNetwork:
+                def predict_patterns(self, patterns):
+                    return np.full(patterns.shape[0], 2, dtype=np.int64) - 2
+
+            batcher.model = SimpleNamespace(
+                key=arm_a.key, network=LyingNetwork()
+            )
+            await server._predict(_predict_body("toy", x))
+            checks = experiment.canary_checks
+            divergences = experiment.canary_divergences
+            await server.close()
+            return checks, divergences
+
+        checks, divergences = asyncio.run(scenario())
+        assert checks == 1
+        # The toy model predicts a nonzero class somewhere on random
+        # inputs with overwhelming probability; the lying all-zeros
+        # network therefore diverges from the direct recompute.
+        assert divergences == 1
+
+    def test_swap_updates_ab_arms_so_canary_stays_green(self, rng):
+        """Hot-swapping an arm must repoint the experiment at the new
+        model; a stale arm oracle would false-positive the canary."""
+        loader = VersionedLoader()
+        x = rng.normal(size=(4, 4))
+
+        async def scenario():
+            server = InferenceServer(
+                registry=ModelRegistry(loader=loader),
+                max_batch=4,
+                max_delay_ms=1.0,
+                canary_every=1,
+            )
+            await server.configure_ab("toy", "posit8_1", "float4_3")
+            await server._predict(_predict_body("toy", x))
+            loader.version = 3  # new weights behind the same key
+            await server._swap({"dataset": "toy", "format": "posit8_1"})
+            for _ in range(4):
+                await server._predict(_predict_body("toy", x))
+            experiment = server._experiments["toy"]
+            checks = experiment.canary_checks
+            divergences = experiment.canary_divergences
+            generation = server._batchers["toy/posit8_1"].generation
+            await server.close()
+            return checks, divergences, generation
+
+        checks, divergences, generation = asyncio.run(scenario())
+        assert checks == 5
+        assert divergences == 0
+        assert generation == 2
+
+
+class TestClosedServerRace:
+    def test_batcher_for_after_close_raises_service_closed(self):
+        """The shutdown race: a request resolving its model while close()
+        drains must get ServiceClosed (-> 503), never a fresh batcher on
+        the dead executor."""
+
+        async def scenario():
+            server = InferenceServer(registry=ModelRegistry(loader=tiny_loader))
+            model = await server.registry.get(
+                "toy", "posit8_1", executor=server._executor
+            )
+            await server.close()
+            with pytest.raises(ServiceClosed):
+                server.batcher_for(model)
+            # The full predict path surfaces the same ServiceClosed
+            # (the HTTP handler renders it as 503).
+            with pytest.raises(ServiceClosed):
+                await server._predict(
+                    _predict_body("toy", np.zeros((1, 4)), "posit8_1")
+                )
+
+        asyncio.run(scenario())
+
+    def test_close_is_idempotent_and_swap_after_close_refused(self):
+        async def scenario():
+            server = InferenceServer(registry=ModelRegistry(loader=tiny_loader))
+            await server.registry.get(
+                "toy", "posit8_1", executor=server._executor
+            )
+            await server.close()
+            await server.close()  # second close is a no-op, not an error
+            with pytest.raises(ServiceClosed):
+                await server._swap({"dataset": "toy", "format": "posit8_1"})
+
+        asyncio.run(scenario())
+
+    def test_inflight_request_racing_close_gets_503_not_crash(self, rng):
+        """End-to-end shape of the race: requests keep arriving while the
+        server shuts down; every response is either a clean answer or a
+        clean ServiceClosed — no dead-executor errors."""
+        x = rng.normal(size=(1, 4))
+
+        async def scenario():
+            server = InferenceServer(
+                registry=ModelRegistry(loader=tiny_loader),
+                max_batch=4,
+                max_delay_ms=1.0,
+            )
+            # Warm the model so predict resolves instantly from cache.
+            await server.registry.get(
+                "toy", "posit8_1", executor=server._executor
+            )
+            body = _predict_body("toy", x, "posit8_1")
+
+            async def hammer():
+                outcomes = []
+                for _ in range(40):
+                    try:
+                        await server._predict(body)
+                        outcomes.append("ok")
+                    except ServiceClosed:
+                        outcomes.append("closed")
+                    await asyncio.sleep(0)
+                return outcomes
+
+            hammer_task = asyncio.ensure_future(hammer())
+            await asyncio.sleep(0.01)
+            await server.close()
+            return await hammer_task
+
+        outcomes = asyncio.run(scenario())
+        assert set(outcomes) <= {"ok", "closed"}
+        assert "closed" in outcomes  # the race actually happened
