@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI guard for the chaos matrix's recorded scenario report.
+
+Reads the JSON the slow-suite chaos tests (``tests/chaos``) write when
+``REPRO_CHAOS_JSON`` is set and enforces the self-healing contract for
+every required scenario:
+
+* the scenario ran and its fault demonstrably fired (``injected >= 1``);
+* the system recovered without operator intervention;
+* zero bit-identity failures — every recovered answer matched the
+  fault-free path exactly.
+
+A chaos run where no fault fired is a broken harness, not a pass: the
+guard fails on a missing scenario exactly as it fails on an
+unrecovered one.
+
+Usage::
+
+    python benchmarks/check_chaos.py BENCH_chaos.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_SCENARIOS = (
+    "worker_kill",
+    "corrupt_artifact",
+    "socket_drop",
+    "midbatch_exception",
+    "deadline_shed",
+)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    record = json.loads(Path(argv[1]).read_text())
+    scenarios = {s["scenario"]: s for s in record.get("scenarios", [])}
+
+    failed = False
+    for name in REQUIRED_SCENARIOS:
+        entry = scenarios.get(name)
+        if entry is None:
+            print(f"FAIL: scenario '{name}' missing from the report",
+                  file=sys.stderr)
+            failed = True
+            continue
+        print(
+            f"{name}: injected={entry['injected']} "
+            f"recovered={entry['recovered']} "
+            f"bit_identity_failures={entry['bit_identity_failures']}"
+        )
+        if entry["injected"] < 1:
+            print(f"FAIL: {name} injected no faults (harness broken?)",
+                  file=sys.stderr)
+            failed = True
+        if not entry["recovered"]:
+            print(f"FAIL: {name} did not recover", file=sys.stderr)
+            failed = True
+        if entry["bit_identity_failures"] != 0:
+            print(
+                f"FAIL: {name} produced "
+                f"{entry['bit_identity_failures']} answers that diverged "
+                "from the fault-free path",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print(f"OK ({record['total_injected']} faults injected, all recovered)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

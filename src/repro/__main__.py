@@ -230,6 +230,7 @@ def _run(args: list[str]) -> str:
     from .analysis import (
         DEFAULT_DATASETS,
         DEFAULT_WIDTHS,
+        GridQuarantine,
         render_ablation,
         render_figure9,
         render_table2,
@@ -260,6 +261,15 @@ def _run(args: list[str]) -> str:
         "--widths", default=None,
         help="comma-separated bit widths (sweep/fig9/ablation; default 5-8)",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per task before it is quarantined (crashed workers "
+             "are retried with exponential backoff)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential backoff between retry rounds",
+    )
     ns = parser.parse_args(args)
 
     if ns.no_cache:
@@ -277,18 +287,36 @@ def _run(args: list[str]) -> str:
     def progress(message: str) -> None:
         print(f"run[{ns.target}] {message}", file=sys.stderr, flush=True)
 
-    if ns.target == "table2":
-        return render_table2(
-            run_table2(datasets, jobs=jobs, progress=progress)
-        )
-    if ns.target == "fig9":
-        return render_figure9(
-            run_fig9(widths, datasets, jobs=jobs, progress=progress)
-        )
-    if ns.target == "ablation":
-        results = run_ablation(datasets, widths, jobs=jobs, progress=progress)
-        return render_ablation(list(results.values()))
-    sweeps = run_sweeps(datasets, widths, jobs=jobs, progress=progress)
+    retry = {
+        "max_attempts": ns.max_attempts,
+        "retry_backoff_s": ns.retry_backoff,
+    }
+    try:
+        if ns.target == "table2":
+            return render_table2(
+                run_table2(datasets, jobs=jobs, progress=progress, **retry)
+            )
+        if ns.target == "fig9":
+            return render_figure9(
+                run_fig9(widths, datasets, jobs=jobs, progress=progress,
+                         **retry)
+            )
+        if ns.target == "ablation":
+            results = run_ablation(
+                datasets, widths, jobs=jobs, progress=progress, **retry
+            )
+            return render_ablation(list(results.values()))
+        sweeps = run_sweeps(datasets, widths, jobs=jobs, progress=progress,
+                            **retry)
+    except GridQuarantine as exc:
+        # The healthy part of the grid completed (and is in the store);
+        # report the quarantined tasks instead of pretending all is well.
+        for row in exc.report:
+            progress(
+                f"QUARANTINED {row['dataset']} n={row['width']} after "
+                f"{row['attempts']} attempt(s): {row['error']}"
+            )
+        raise ValueError(str(exc)) from exc
     lines = []
     for task, sweep in sweeps.items():
         lines.append(
@@ -340,6 +368,17 @@ def _serve(args: list[str]) -> int:
         "--canary-every", type=int, default=8,
         help="run the A/B canary on every Nth routed request (0 = never)",
     )
+    parser.add_argument(
+        "--shed-threshold", type=float, default=None, metavar="FRACTION",
+        help="shed load (503 + Retry-After) once a model's queue reaches "
+             "this fraction of --queue-limit (default: off, submitters "
+             "wait instead)",
+    )
+    parser.add_argument(
+        "--rollback-after", type=int, default=1, metavar="N",
+        help="canary divergences on an A/B arm before it is automatically "
+             "rolled back to the last-known-good generation (0 = never)",
+    )
     ns = parser.parse_args(args)
 
     warmups = []
@@ -374,6 +413,8 @@ def _serve(args: list[str]) -> int:
             executor_workers=ns.workers,
             adaptive_delay=not ns.no_adaptive_delay,
             canary_every=ns.canary_every,
+            shed_threshold=ns.shed_threshold,
+            rollback_after=ns.rollback_after,
         ))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)

@@ -23,17 +23,27 @@ import uuid
 from pathlib import Path
 from typing import Any, Callable
 
+from .. import faults
+
 __all__ = [
     "cache_dir",
     "cache_enabled",
     "cached_json",
     "clear_cache",
     "atomic_write_json",
+    "fsync_dir",
     "unique_tmp",
 ]
 
 _ENV_DISABLE = "REPRO_NO_CACHE"
 _DIRNAME = ".repro_cache"
+
+#: Fires on an artifact temp file after it is fully written and synced
+#: but before the rename publishes it — ``truncate``/``corrupt`` here
+#: simulate the torn artifact a mid-write crash would leave behind.
+POINT_PUBLISH = faults.register_point(
+    "store.publish", "artifact temp file written, pre-rename"
+)
 
 
 def cache_enabled() -> bool:
@@ -59,13 +69,40 @@ def unique_tmp(path: Path) -> Path:
     return path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
 
 
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a hard kill.
+
+    Best-effort: some filesystems (and Windows) refuse directory fsync;
+    those platforms simply keep their weaker rename durability.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: Path, value: Any) -> None:
-    """Atomically publish ``value`` as JSON at ``path`` (race-safe)."""
+    """Atomically publish ``value`` as JSON at ``path`` (race-safe).
+
+    The temp file is fsynced before the rename and the directory after
+    it, so a power loss or SIGKILL cannot publish a truncated artifact
+    under the final name.
+    """
     tmp = unique_tmp(path)
     try:
         with tmp.open("w") as handle:
             json.dump(value, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.fire(POINT_PUBLISH, path=str(tmp), artifact=str(path))
         tmp.replace(path)
+        fsync_dir(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
 
@@ -83,7 +120,9 @@ def cached_json(name: str, compute: Callable[[], Any]) -> Any:
         try:
             with path.open() as handle:
                 return json.load(handle)
-        except (json.JSONDecodeError, OSError):
+        except (ValueError, OSError):
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError
+            # a corrupted byte sequence raises before JSON even parses.
             path.unlink(missing_ok=True)
     value = compute()
     atomic_write_json(path, value)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import zipfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
@@ -36,7 +37,15 @@ from typing import Any
 
 import numpy as np
 
-from .cache import atomic_write_json, cache_dir, cache_enabled, unique_tmp
+from .. import faults
+from .cache import (
+    POINT_PUBLISH,
+    atomic_write_json,
+    cache_dir,
+    cache_enabled,
+    fsync_dir,
+    unique_tmp,
+)
 
 __all__ = ["content_key", "ArtifactStore", "artifact_store", "store_enabled"]
 
@@ -101,7 +110,11 @@ class ArtifactStore:
                     ),
                     **arrays,
                 )
+                handle.flush()
+                os.fsync(handle.fileno())
+            faults.fire(POINT_PUBLISH, path=str(tmp), artifact=str(path))
             tmp.replace(path)
+            fsync_dir(path.parent)
         finally:
             tmp.unlink(missing_ok=True)
         return path
@@ -120,8 +133,12 @@ class ArtifactStore:
                 arrays = {k: data[k] for k in data.files if k != "__meta__"}
                 meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
             return arrays, meta
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+        except (OSError, ValueError, KeyError, EOFError,
+                NotImplementedError, zipfile.BadZipFile,
                 json.JSONDecodeError):
+            # EOFError: np.load on a file truncated inside the npy magic.
+            # NotImplementedError: zipfile on a corrupted version-needed
+            # field it reads as "unsupported zip feature".
             path.unlink(missing_ok=True)
             return None
 
@@ -150,7 +167,9 @@ class ArtifactStore:
         try:
             with path.open() as handle:
                 return json.load(handle)
-        except (json.JSONDecodeError, OSError):
+        except (ValueError, OSError):
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError
+            # corrupted bytes raise before JSON parsing begins.
             path.unlink(missing_ok=True)
             return None
 

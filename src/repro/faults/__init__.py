@@ -1,0 +1,48 @@
+"""Chaos harness: deterministic, seeded fault injection.
+
+See :mod:`repro.faults.injector` for the model (points, rules, actions,
+activation, trace) and ``docs/fault-tolerance.md`` for the operator
+guide.  The short form::
+
+    from repro import faults
+
+    with faults.inject("serve.batch", "raise", times=1) as injector:
+        ...                      # one batch execution fails, then heals
+    injector.events              # the trace of fired faults
+
+    REPRO_FAULTS='runner.task=kill:times=1' python -m repro run table2
+"""
+
+from .injector import (
+    ENV_SPEC,
+    ENV_TRACE,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activate,
+    active_injector,
+    fire,
+    inject,
+    read_trace,
+    register_point,
+    registered_points,
+)
+
+__all__ = [
+    "ENV_SPEC",
+    "ENV_TRACE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "activate",
+    "active_injector",
+    "fire",
+    "inject",
+    "read_trace",
+    "register_point",
+    "registered_points",
+]

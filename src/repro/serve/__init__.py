@@ -13,7 +13,12 @@ bit-exactness argument.
 """
 
 from .ab import ABExperiment
-from .batcher import MicroBatcher, ServiceClosed
+from .batcher import (
+    DeadlineExceeded,
+    MicroBatcher,
+    QueueSaturated,
+    ServiceClosed,
+)
 from .client import ServeClient, ServeError
 from .registry import ModelRegistry, ServedModel, build_served_model
 from .server import InferenceServer, ServerHandle, serve_forever, start_in_thread
@@ -23,6 +28,8 @@ __all__ = [
     "ABExperiment",
     "MicroBatcher",
     "ServiceClosed",
+    "QueueSaturated",
+    "DeadlineExceeded",
     "ServeClient",
     "ServeError",
     "ModelRegistry",

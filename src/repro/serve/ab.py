@@ -44,6 +44,8 @@ class ABExperiment:
     requests_per_arm: Counter = field(default_factory=Counter)
     canary_checks: int = 0
     canary_divergences: int = 0  # served != direct for some arm: a bug
+    divergences_per_arm: Counter = field(default_factory=Counter)
+    rollbacks: int = 0  # automatic rollbacks triggered by this experiment
     rows_compared: int = 0  # canary rows where both arms answered
     rows_disagreed: int = 0  # arms legitimately predicting differently
     _router: int = 0
@@ -98,6 +100,21 @@ class ABExperiment:
         self.rows_compared += rows
         self.rows_disagreed += rows_disagreed
 
+    def record_arm_divergence(self, format_name: str) -> int:
+        """Charge one served-vs-direct divergence to a specific arm.
+
+        Rollback decisions are per-arm: only the generation that is
+        actually lying should be rolled back.  Returns the arm's running
+        divergence count so the caller can compare it to its threshold.
+        """
+        self.divergences_per_arm[format_name] += 1
+        return self.divergences_per_arm[format_name]
+
+    def reset_arm_divergences(self, format_name: str) -> None:
+        """Clear an arm's divergence count (after its model was replaced,
+        the restored generation deserves a fresh verdict)."""
+        self.divergences_per_arm[format_name] = 0
+
     def describe(self) -> dict:
         """JSON-ready row for ``GET /ab``."""
         return {
@@ -108,7 +125,11 @@ class ABExperiment:
             "canary": {
                 "checks": self.canary_checks,
                 "divergences": self.canary_divergences,
+                "divergences_per_arm": dict(
+                    sorted(self.divergences_per_arm.items())
+                ),
                 "rows_compared": self.rows_compared,
                 "rows_disagreed": self.rows_disagreed,
             },
+            "rollbacks": self.rollbacks,
         }

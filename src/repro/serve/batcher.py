@@ -42,19 +42,45 @@ in ``tests/serve/``.
 from __future__ import annotations
 
 import asyncio
+import math
 from concurrent.futures import Executor
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import faults
 from .registry import ServedModel
 from .stats import ServeStats
 
-__all__ = ["MicroBatcher", "ServiceClosed"]
+__all__ = [
+    "MicroBatcher",
+    "ServiceClosed",
+    "QueueSaturated",
+    "DeadlineExceeded",
+]
+
+#: Fires once per micro-batch execution, on the executor thread, before
+#: any kernel work; context is ``model=<key> rows=<n>``.  ``raise`` here
+#: exercises the poison-isolation retry, ``stall`` simulates a slow
+#: kernel (for deadline/shed scenarios).
+POINT_BATCH = faults.register_point(
+    "serve.batch", "one micro-batch execution on an executor thread"
+)
 
 
 class ServiceClosed(RuntimeError):
     """Raised by ``submit`` once the batcher has begun shutting down."""
+
+
+class QueueSaturated(RuntimeError):
+    """Raised by ``submit`` when load shedding is on and the queue is at
+    or past the shed threshold — the HTTP layer answers 503 +
+    ``Retry-After`` instead of letting the request wait."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline expired while it waited in the queue; it was
+    answered 504 and its rows were never executed."""
 
 
 @dataclass
@@ -65,6 +91,7 @@ class _Pending:
     rows: int
     future: asyncio.Future
     enqueued: float  # loop time, for queue+execute latency
+    deadline: float | None = None  # absolute loop time; None = no deadline
 
 
 _CLOSE = object()  # queue sentinel; FIFO order makes it drain-then-exit
@@ -89,17 +116,32 @@ class MicroBatcher:
         executor: Executor | None = None,
         stats: ServeStats | None = None,
         adaptive_delay: bool = True,
+        shed_threshold: float | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_ms < 0:
             raise ValueError("max_delay_ms must be >= 0")
+        if shed_threshold is not None and not 0.0 < shed_threshold <= 1.0:
+            raise ValueError("shed_threshold must be in (0, 1]")
         self.model = model
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay_ms) / 1000.0
         self.adaptive_delay = bool(adaptive_delay)
         self.stats = stats if stats is not None else ServeStats()
         self.generation = 1  # bumped by swap_model (observability only)
+        self.queue_limit = int(queue_limit)
+        # Load shedding is opt-in: None keeps the original backpressure
+        # behavior (full queue = submitters wait).  With a threshold f,
+        # submits are refused outright once qsize reaches
+        # ceil(f * queue_limit), so the server can answer 503 fast
+        # instead of stacking latency onto an already-saturated queue.
+        self.shed_threshold = shed_threshold
+        self._shed_at = (
+            None
+            if shed_threshold is None
+            else max(1, math.ceil(shed_threshold * queue_limit))
+        )
         self._executor = executor
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self._task: asyncio.Task | None = None
@@ -113,15 +155,27 @@ class MicroBatcher:
         if self._task is None:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
-    async def submit(self, patterns: np.ndarray) -> np.ndarray:
+    async def submit(
+        self, patterns: np.ndarray, deadline: float | None = None
+    ) -> np.ndarray:
         """Enqueue ``(rows, in)`` input patterns; await the predictions.
 
         Returns the ``(rows,)`` class predictions for exactly this
         request's rows.  Waits when the bounded queue is full; raises
-        :class:`ServiceClosed` once shutdown has begun.
+        :class:`ServiceClosed` once shutdown has begun,
+        :class:`QueueSaturated` when load shedding is active, and
+        :class:`DeadlineExceeded` if ``deadline`` (absolute loop time)
+        passes before the request's batch is assembled — expired rows
+        are never executed.
         """
         if self._closing:
             raise ServiceClosed(f"batcher for {self.model.key} is shut down")
+        if self._shed_at is not None and self._queue.qsize() >= self._shed_at:
+            self.stats.record_shed()
+            raise QueueSaturated(
+                f"queue for {self.model.key} is saturated "
+                f"({self._queue.qsize()}/{self.queue_limit}); shedding load"
+            )
         patterns = np.asarray(patterns, dtype=np.uint32)
         if patterns.ndim != 2:
             raise ValueError("patterns must be 2-D (rows, features)")
@@ -130,7 +184,7 @@ class MicroBatcher:
         now = loop.time()
         self._observe_arrival(now)
         item = _Pending(patterns, patterns.shape[0], loop.create_future(),
-                        now)
+                        now, deadline)
         await self._queue.put(item)
         return await item.future
 
@@ -171,6 +225,19 @@ class MicroBatcher:
     def pending(self) -> int:
         """Requests currently queued (excludes the in-flight batch)."""
         return self._queue.qsize()
+
+    @property
+    def shedding(self) -> bool:
+        """Whether a submit arriving now would be shed (503)."""
+        return (
+            self._shed_at is not None
+            and self._queue.qsize() >= self._shed_at
+        )
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the queue is at its hard limit (submitters wait)."""
+        return self._queue.qsize() >= self.queue_limit
 
     # -- adaptive coalescing delay --------------------------------------
     def _observe_arrival(self, now: float) -> None:
@@ -260,8 +327,55 @@ class MicroBatcher:
             if saw_close:
                 return
 
+    def _predict_stack(self, network, stacked: np.ndarray):
+        """Kernel-side body (executor thread): predict a stacked matrix in
+        ``max_batch``-row slices.  The injection point fires here, inside
+        the error boundary, so an armed fault behaves exactly like a
+        kernel failure."""
+        faults.fire(POINT_BATCH, model=self.model.key,
+                    rows=int(stacked.shape[0]))
+        cap = self.max_batch
+        sizes, parts = [], []
+        for start in range(0, stacked.shape[0], cap):
+            chunk = stacked[start:start + cap]
+            parts.append(network.predict_patterns(chunk))
+            sizes.append(chunk.shape[0])
+        if not parts:
+            # Every coalesced request was zero-row: there is nothing
+            # to predict, and ``np.concatenate([])`` would raise and
+            # fail the whole batch.  Answer with an empty prediction
+            # array (each zero-row caller slices an empty view).
+            return np.zeros(0, dtype=np.int64), sizes
+        return np.concatenate(parts), sizes
+
+    def _expire_deadlines(self, batch: list[_Pending], loop) -> list[_Pending]:
+        """Fail expired requests with 504 material; return the live rest.
+
+        Expiry is judged once, at batch assembly: rows whose deadline has
+        already passed are answered without ever touching a kernel, and
+        live rows keep their place in the batch.
+        """
+        now = loop.time()
+        live = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                self.stats.record_deadline_expired()
+                exc = DeadlineExceeded(
+                    f"deadline expired after "
+                    f"{(now - item.enqueued) * 1000.0:.1f}ms in queue"
+                )
+                exc._repro_counted = True
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            else:
+                live.append(item)
+        return live
+
     async def _execute(self, batch: list[_Pending], loop) -> None:
-        network, cap = self.model.network, self.max_batch
+        batch = self._expire_deadlines(batch, loop)
+        if not batch:
+            return
+        network = self.model.network
 
         def run() -> tuple[np.ndarray, list[int]]:
             # Stacking lives inside the error boundary too: a width
@@ -272,34 +386,51 @@ class MicroBatcher:
                 if len(batch) == 1
                 else np.vstack([item.patterns for item in batch])
             )
-            # Slice oversized stacks (multi-row requests can overflow the
-            # batch) so every kernel call sees at most ``max_batch`` rows.
-            sizes, parts = [], []
-            for start in range(0, stacked.shape[0], cap):
-                chunk = stacked[start:start + cap]
-                parts.append(network.predict_patterns(chunk))
-                sizes.append(chunk.shape[0])
-            if not parts:
-                # Every coalesced request was zero-row: there is nothing
-                # to predict, and ``np.concatenate([])`` would raise and
-                # fail the whole batch.  Answer with an empty prediction
-                # array (each zero-row caller slices an empty view).
-                return np.zeros(0, dtype=np.int64), sizes
-            return np.concatenate(parts), sizes
+            return self._predict_stack(network, stacked)
 
         try:
             predictions, sizes = await loop.run_in_executor(
                 self._executor, run
             )
-        except Exception as exc:  # propagate to every caller in the batch
-            self.stats.record_error()
-            # Mark as counted so the N fan-out deliveries of this one
-            # failure are not re-counted per request by the HTTP handler.
-            exc._repro_counted = True
-            for item in batch:
+        except Exception as exc:
+            if len(batch) == 1:
+                # A lone request's failure is its own: propagate it.
+                self.stats.record_error()
+                # Mark as counted so the fan-out deliveries of this one
+                # failure are not re-counted per request by the handler.
+                exc._repro_counted = True
+                item = batch[0]
                 if not item.future.done():
                     item.future.set_exception(exc)
+                return
+            # Poison isolation: one bad request (or one transient fault)
+            # must not fail its batchmates.  Re-execute each request
+            # alone; healthy ones succeed bit-identically (batch
+            # composition cannot change any answer), the poison one
+            # fails by itself.
+            self.stats.record_batch_retry()
+            await self._execute_singly(batch, network, loop)
             return
+        self._resolve(batch, predictions, sizes, loop)
+
+    async def _execute_singly(self, batch, network, loop) -> None:
+        for item in batch:
+            def run_one(item=item):
+                return self._predict_stack(network, item.patterns)
+
+            try:
+                predictions, sizes = await loop.run_in_executor(
+                    self._executor, run_one
+                )
+            except Exception as exc:  # this request really is the poison
+                self.stats.record_error()
+                exc._repro_counted = True
+                if not item.future.done():
+                    item.future.set_exception(exc)
+                continue
+            self._resolve([item], predictions, sizes, loop)
+
+    def _resolve(self, batch, predictions, sizes, loop) -> None:
         for size in sizes:
             self.stats.record_batch(self.model.key, size)
         offset = 0

@@ -7,6 +7,14 @@ keeps the client's per-request overhead well under the kernel time being
 amortized — it exists for examples, load tests, and the throughput
 benchmark, not as a general HTTP library.
 
+Connection failures — refused connects, stale keep-alives, resets
+mid-exchange — are retried up to ``retries`` attempts with exponential
+backoff + jitter.  Re-sending is safe because every endpoint is
+idempotent (predictions are deterministic; /swap rebuilds from the same
+store artifacts).  Response *timeouts* are never retried: the server may
+still be executing the request (e.g. a slow first-warmup training run),
+and re-sending would double the work.
+
 A client is **not** thread-safe; give each load-generating thread its own
 (as the examples and benchmarks do).
 
@@ -18,37 +26,76 @@ A client is **not** thread-safe; give each load-generating thread its own
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
 import numpy as np
+
+from .. import faults
 
 __all__ = ["ServeClient", "ServeError"]
 
 _HEAD_END = b"\r\n\r\n"
 
+#: Fires before a connect / request write / response read; ``raise`` with
+#: ``exc=ConnectionRefusedError`` at ``client.connect`` simulates a down
+#: server, ``drop`` at ``client.send``/``client.recv`` a flaky network.
+POINT_CONNECT = faults.register_point(
+    "client.connect", "a ServeClient TCP connect"
+)
+POINT_SEND = faults.register_point(
+    "client.send", "one client request write"
+)
+POINT_RECV = faults.register_point(
+    "client.recv", "one client response read"
+)
+
 
 class ServeError(RuntimeError):
     """A non-200 response from the service."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after  # seconds, from Retry-After (503s)
 
 
 class ServeClient:
-    """Blocking JSON-over-HTTP client for one server."""
+    """Blocking JSON-over-HTTP client for one server.
+
+    ``retries`` bounds the *attempts* per request (default 3: the
+    original try plus two retries); ``retry_backoff_s`` seeds the
+    exponential backoff between them, jittered to avoid thundering
+    herds.  ``retry_on_503`` additionally retries load-shed/saturation
+    503 responses, honoring the server's ``Retry-After`` hint.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8707,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retries: int = 3,
+                 retry_backoff_s: float = 0.05,
+                 retry_on_503: bool = False,
+                 rng: random.Random | None = None):
+        if retries < 1:
+            raise ValueError("retries must be >= 1")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.retry_on_503 = bool(retry_on_503)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = time.sleep  # patchable seam for fast tests
         self._sock: socket.socket | None = None
         self._buffer = bytearray()
 
     # -- connection management ------------------------------------------
     def _connect(self) -> socket.socket:
+        faults.fire(POINT_CONNECT, host=self.host, port=self.port)
         sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
@@ -79,35 +126,73 @@ class ServeClient:
             "Content-Type: application/json\r\n"
             "\r\n"
         ).encode("latin-1") + body
-        if self._sock is None:
-            self._sock = self._connect()
-            return self._exchange(message, raw)
-        try:
-            return self._exchange(message, raw)
-        except TimeoutError:
-            # The server may still be executing the request (e.g. a slow
-            # first-warmup training run) — re-sending would double the
-            # work, so surface the timeout to the caller instead.
-            self.close()
-            raise
-        except ConnectionError:
-            # Stale keep-alive (server restarted, idle drop): retry once on
-            # a fresh connection.
-            self.close()
-            self._sock = self._connect()
-            return self._exchange(message, raw)
+        last_exc: Exception | None = None
+        for attempt in range(1, self.retries + 1):
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                return self._exchange(message, raw)
+            except TimeoutError:
+                # The server may still be executing the request (e.g. a
+                # slow first-warmup training run) — re-sending would
+                # double the work, so surface the timeout to the caller.
+                self.close()
+                raise
+            except ServeError as exc:
+                if not (self.retry_on_503 and exc.status == 503):
+                    raise
+                # Shed/saturation: the connection is healthy, only the
+                # queue is full.  Honor the server's Retry-After hint
+                # (but never wait less than our own backoff).
+                last_exc = exc
+                if attempt < self.retries:
+                    self._sleep(max(
+                        exc.retry_after or 0.0,
+                        self._backoff(attempt),
+                    ))
+                continue
+            except (ConnectionError, OSError) as exc:
+                # Refused connect (server not up yet / restarting), stale
+                # keep-alive, or a reset mid-exchange.  Every endpoint is
+                # idempotent, so resend on a fresh connection after
+                # backoff.  TimeoutError was already handled above (it
+                # subclasses OSError).
+                self.close()
+                last_exc = exc
+                if attempt < self.retries:
+                    self._sleep(self._backoff(attempt))
+        raise last_exc
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter: ``base * 2^(attempt-1) *
+        [1, 2)`` seconds."""
+        return (
+            self.retry_backoff_s
+            * (2 ** (attempt - 1))
+            * (1.0 + self._rng.random())
+        )
 
     def _exchange(self, message: bytes, raw: bool = False):
+        faults.fire(POINT_SEND, host=self.host, port=self.port,
+                    sock=self._sock)
         self._sock.sendall(message)
+        faults.fire(POINT_RECV, host=self.host, port=self.port,
+                    sock=self._sock)
         head = self._read_until_head_end()
         lines = head.decode("latin-1").split("\r\n")
         status = int(lines[0].split(" ", 2)[1])
         length = 0
+        retry_after = None
         for line in lines[1:]:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            field = name.strip().lower()
+            if field == "content-length":
                 length = int(value.strip())
-                break
+            elif field == "retry-after":
+                try:
+                    retry_after = float(value.strip())
+                except ValueError:
+                    pass
         body = self._read_exactly(length) if length else b""
         if status != 200:
             # Error bodies are JSON even on text endpoints like /metrics.
@@ -115,7 +200,8 @@ class ServeClient:
                 data = json.loads(body) if body else {}
             except json.JSONDecodeError:
                 data = {"error": body.decode("utf-8", "replace")}
-            raise ServeError(status, data.get("error", "unknown error"))
+            raise ServeError(status, data.get("error", "unknown error"),
+                             retry_after=retry_after)
         if raw:
             return body.decode("utf-8")
         return json.loads(body) if length else {}
@@ -182,14 +268,19 @@ class ServeClient:
         """Per-experiment routing and canary counters (``GET /ab``)."""
         return self._request("GET", "/ab")
 
-    def predict(self, dataset: str, format_name: str | None, inputs) -> dict:
+    def predict(self, dataset: str, format_name: str | None, inputs,
+                deadline_ms: float | None = None) -> dict:
         """Predict classes for ``(rows, features)`` float inputs.
 
         ``format_name=None`` omits the format field: the server routes
         the request through the dataset's A/B experiment (400 if none).
+        ``deadline_ms`` gives the request a latency budget: rows still
+        queued when it expires are answered 504 and never executed.
         """
         rows = np.asarray(inputs, dtype=np.float64)
         payload = {"dataset": dataset, "inputs": rows.tolist()}
         if format_name is not None:
             payload["format"] = format_name
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/predict", payload)

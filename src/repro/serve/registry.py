@@ -121,6 +121,11 @@ class ModelRegistry:
     loader: Loader | None = None
     _models: dict[tuple[str, str], ServedModel] = field(default_factory=dict)
     _locks: dict[tuple[str, str], asyncio.Lock] = field(default_factory=dict)
+    #: Last-known-good generation per key: the model each ``reload``
+    #: displaced, kept so a misbehaving replacement can be rolled back.
+    _previous: dict[tuple[str, str], ServedModel] = field(
+        default_factory=dict
+    )
 
     async def get(
         self,
@@ -176,8 +181,37 @@ class ModelRegistry:
                 executor, build_served_model, dataset, backend.name,
                 self.loader,
             )
+            displaced = self._models.get(key)
+            if displaced is not None:
+                self._previous[key] = displaced
             self._models[key] = model
         return model
+
+    async def rollback(self, dataset: str, format_name: str) -> ServedModel | None:
+        """Restore the last-known-good generation for a key, if any.
+
+        The canary-triggered recovery path: under the same per-key lock
+        as ``reload``, the displaced model saved by the last reload
+        becomes current again.  The rolled-back (bad) generation is
+        *not* stashed as previous — rolling back twice must not
+        reinstall the model the canary just convicted.  Returns the
+        restored model, or ``None`` when no previous generation exists
+        (nothing was ever reloaded, or it was already consumed).
+        """
+        backend = formats.get(format_name)
+        key = (dataset, backend.name)
+        lock = self._locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            previous = self._previous.pop(key, None)
+            if previous is None:
+                return None
+            self._models[key] = previous
+        return previous
+
+    def previous_generation(self, dataset: str, format_name: str) -> ServedModel | None:
+        """The model a rollback would restore for this key (or ``None``)."""
+        backend = formats.get(format_name)
+        return self._previous.get((dataset, backend.name))
 
     def loaded(self) -> list[ServedModel]:
         """Currently resident models, in load order."""

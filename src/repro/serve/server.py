@@ -37,12 +37,29 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .. import faults
 from .ab import ABExperiment
-from .batcher import MicroBatcher, ServiceClosed
+from .batcher import (
+    DeadlineExceeded,
+    MicroBatcher,
+    QueueSaturated,
+    ServiceClosed,
+)
 from .registry import ModelRegistry, ServedModel
 from .stats import ServeStats
 
 __all__ = ["InferenceServer", "ServerHandle", "start_in_thread", "serve_forever"]
+
+#: Fires once per accepted HTTP request, pre-dispatch; ``drop`` here
+#: severs the connection mid-exchange the way a flaky network would.
+POINT_CONNECTION = faults.register_point(
+    "serve.connection", "one accepted HTTP request, pre-dispatch"
+)
+
+#: The Retry-After hint (seconds) sent with load-shed 503s.  Shedding
+#: clears as soon as the queue drains below the threshold, which at
+#: micro-batch latencies is well under a second.
+_RETRY_AFTER_S = 1
 
 #: Reject request bodies larger than this (a predict batch of millions of
 #: rows should be sharded by the client, not buffered in one read).
@@ -58,16 +75,19 @@ _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class _HttpError(Exception):
     """A handled request failure, rendered as a JSON error response."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 class InferenceServer:
@@ -86,6 +106,8 @@ class InferenceServer:
         submit_timeout_s: float = 60.0,
         adaptive_delay: bool = True,
         canary_every: int = 8,
+        shed_threshold: float | None = None,
+        rollback_after: int = 1,
     ):
         # Fail at construction, not on the first request: these values are
         # otherwise only exercised when a batcher is built or a queue fills.
@@ -101,6 +123,10 @@ class InferenceServer:
             raise ValueError("submit_timeout_s must be > 0")
         if canary_every < 0:
             raise ValueError("canary_every must be >= 0")
+        if shed_threshold is not None and not 0.0 < shed_threshold <= 1.0:
+            raise ValueError("shed_threshold must be in (0, 1]")
+        if rollback_after < 0:
+            raise ValueError("rollback_after must be >= 0")
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -110,9 +136,14 @@ class InferenceServer:
         self.submit_timeout_s = submit_timeout_s
         self.adaptive_delay = bool(adaptive_delay)
         self.canary_every = int(canary_every)
+        self.shed_threshold = shed_threshold
+        # Canary divergences on one A/B arm before that arm is rolled
+        # back to its last-known-good generation (0 disables rollback).
+        self.rollback_after = int(rollback_after)
         self.stats = ServeStats()
         self._batchers: dict[str, MicroBatcher] = {}
         self._experiments: dict[str, ABExperiment] = {}
+        self._rollback_events: list[dict] = []
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-serve"
         )
@@ -170,6 +201,7 @@ class InferenceServer:
                 executor=self._executor,
                 stats=self.stats,
                 adaptive_delay=self.adaptive_delay,
+                shed_threshold=self.shed_threshold,
             )
             batcher.start()
             self._batchers[model.key] = batcher
@@ -189,8 +221,10 @@ class InferenceServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                faults.fire(POINT_CONNECTION, path=path)
                 close_conn = headers.get("connection", "").lower() == "close"
                 content_type = "application/json"
+                extra_headers: dict[str, str] = {}
                 try:
                     result = await self._dispatch(method, path, body)
                     status, payload = result[0], result[1]
@@ -198,6 +232,20 @@ class InferenceServer:
                         content_type = result[2]
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
+                    extra_headers = exc.headers
+                except QueueSaturated as exc:
+                    # Load shedding: refuse fast with a retry hint rather
+                    # than stacking more latency onto a saturated queue.
+                    status = 503
+                    payload = {
+                        "error": str(exc),
+                        "retry_after_s": _RETRY_AFTER_S,
+                    }
+                    extra_headers = {"Retry-After": str(_RETRY_AFTER_S)}
+                except DeadlineExceeded as exc:
+                    # The request's own deadline expired while it queued;
+                    # its rows were never executed.
+                    status, payload = 504, {"error": str(exc)}
                 except ServiceClosed as exc:
                     status, payload = 503, {"error": str(exc)}
                 except Exception as exc:  # never tear the connection down
@@ -208,7 +256,8 @@ class InferenceServer:
                         self.stats.record_error()
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
                 await self._write_response(
-                    writer, status, payload, close_conn, content_type
+                    writer, status, payload, close_conn, content_type,
+                    extra_headers,
                 )
                 if close_conn:
                     break
@@ -261,6 +310,7 @@ class InferenceServer:
     async def _write_response(
         writer, status, payload, close_conn,
         content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         # ``payload`` may arrive pre-encoded (bulk predict responses are
         # serialized on the executor to keep the event loop responsive;
@@ -270,11 +320,16 @@ class InferenceServer:
             if isinstance(payload, bytes)
             else json.dumps(payload).encode("utf-8")
         )
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close_conn else 'keep-alive'}\r\n"
+            f"{extras}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -285,11 +340,7 @@ class InferenceServer:
         path = path.split("?", 1)[0]
         if path == "/health":
             self._require(method, "GET")
-            return 200, {
-                "status": "ok",
-                "models_loaded": len(self.registry.loaded()),
-                "uptime_s": round(time.monotonic() - self._started_at, 3),
-            }
+            return 200, self._health()
         if path == "/stats":
             self._require(method, "GET")
             return 200, self.stats.snapshot()
@@ -319,6 +370,8 @@ class InferenceServer:
                     "max_delay_ms": self.max_delay_ms,
                     "queue_limit": self.queue_limit,
                     "adaptive_delay": self.adaptive_delay,
+                    "shed_threshold": self.shed_threshold,
+                    "rollback_after": self.rollback_after,
                     "effective_delay_ms": {
                         key: round(batcher.effective_delay_ms, 3)
                         for key, batcher in sorted(self._batchers.items())
@@ -348,6 +401,37 @@ class InferenceServer:
             self._require(method, "POST")
             return 200, await self._predict(body)
         raise _HttpError(404, f"no route for {path}")
+
+    def _health(self) -> dict:
+        """The ``/health`` body, reporting degraded states honestly.
+
+        A future load balancer (ROADMAP item 1) keys off ``status``:
+        ``ok`` means fully healthy, ``degraded`` means alive but impaired
+        — some queue at its hard limit, load shedding engaged, or an
+        automatic rollback on record (sticky: a rollback means a bad
+        generation served divergent bits until the canary caught it, so
+        it stays visible until an operator restarts or investigates).
+        """
+        degraded: dict = {}
+        saturated = sorted(
+            key for key, b in self._batchers.items() if b.saturated
+        )
+        shedding = sorted(
+            key for key, b in self._batchers.items() if b.shedding
+        )
+        if saturated:
+            degraded["queue_saturated"] = saturated
+        if shedding:
+            degraded["shedding"] = shedding
+        if self.stats.rollbacks:
+            degraded["rollbacks"] = self.stats.rollbacks
+        return {
+            "status": "degraded" if degraded else "ok",
+            "models_loaded": len(self.registry.loaded()),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "shed_mode": self.shed_threshold is not None,
+            "degraded": degraded,
+        }
 
     @staticmethod
     def _require(method: str, expected: str) -> None:
@@ -427,6 +511,10 @@ class InferenceServer:
                 experiment.arm_a = model
             if experiment.arm_b.key == model.key:
                 experiment.arm_b = model
+            if model.key in (experiment.arm_a.key, experiment.arm_b.key):
+                # A fresh generation is judged fresh: its rollback
+                # counter must not inherit its predecessor's strikes.
+                experiment.reset_arm_divergences(model.format_name)
         self.stats.record_swap()
         return {
             "swapped": model.key,
@@ -490,16 +578,37 @@ class InferenceServer:
             raise ValueError(exc.message) from None
 
     # -- the predict path -----------------------------------------------
-    async def _submit(self, model: ServedModel, patterns) -> np.ndarray:
-        """Submit patterns to the model's batcher with the 503 timeout."""
+    async def _submit(
+        self, model: ServedModel, patterns, deadline: float | None = None
+    ) -> np.ndarray:
+        """Submit patterns to the model's batcher with the 503 timeout.
+
+        ``deadline`` (absolute loop time) rides into the batcher, which
+        answers expired rows with :class:`DeadlineExceeded` (-> 504)
+        instead of executing them.
+        """
         batcher = self.batcher_for(model)
         try:
             return await asyncio.wait_for(
-                batcher.submit(patterns), self.submit_timeout_s
+                batcher.submit(patterns, deadline=deadline),
+                self.submit_timeout_s,
             )
         except asyncio.TimeoutError:
             self.stats.record_rejected()
             raise _HttpError(503, "prediction queue saturated; retry") from None
+
+    @staticmethod
+    def _parse_deadline(payload: dict, loop) -> float | None:
+        """``deadline_ms`` (a request-relative budget) -> absolute loop
+        time, validated; ``None`` when the request sets no deadline."""
+        raw = payload.get("deadline_ms")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise _HttpError(400, "'deadline_ms' must be a positive number")
+        if not raw > 0 or not np.isfinite(raw):
+            raise _HttpError(400, "'deadline_ms' must be a positive number")
+        return loop.time() + float(raw) / 1000.0
 
     async def _run_canary(
         self,
@@ -539,18 +648,68 @@ class InferenceServer:
         direct, direct_other = await loop.run_in_executor(
             self._executor, recompute
         )
-        diverged = not (
-            np.array_equal(served, direct)
-            and np.array_equal(served_other, direct_other)
-        )
+        arm_diverged = not np.array_equal(served, direct)
+        other_diverged = not np.array_equal(served_other, direct_other)
+        diverged = arm_diverged or other_diverged
         rows_disagreed = int(np.count_nonzero(direct != direct_other))
         experiment.record_canary(diverged, len(direct), rows_disagreed)
         self.stats.record_canary(diverged)
-        return {
+        result = {
             "checked": True,
             "diverged": diverged,
             "rows_disagreed": rows_disagreed,
         }
+        # Divergence is charged per arm so only the lying generation is
+        # rolled back; healthy arms are left alone.
+        rollbacks = []
+        for arm, arm_hit in ((model, arm_diverged), (other, other_diverged)):
+            if not arm_hit:
+                continue
+            count = experiment.record_arm_divergence(arm.format_name)
+            if self.rollback_after and count >= self.rollback_after:
+                event = await self._rollback_arm(experiment, arm)
+                if event is not None:
+                    rollbacks.append(event)
+        if rollbacks:
+            result["rollbacks"] = rollbacks
+        return result
+
+    async def _rollback_arm(
+        self, experiment: ABExperiment, bad: ServedModel
+    ) -> dict | None:
+        """Swap one A/B arm back to its last-known-good generation.
+
+        Runs under the registry's per-key lock (inside ``rollback``); the
+        live batcher flips to the restored network between batches, every
+        experiment arm pointing at the key follows, and the event lands
+        in stats (``/metrics``), ``/health``, and the ``/ab`` report.
+        Returns ``None`` when no previous generation exists to restore.
+        """
+        restored = await self.registry.rollback(bad.dataset, bad.format_name)
+        if restored is None:
+            return None
+        batcher = self._batchers.get(restored.key)
+        generation = (
+            batcher.swap_model(restored) if batcher is not None else None
+        )
+        for exp in self._experiments.values():
+            if exp.arm_a.key == restored.key:
+                exp.arm_a = restored
+            if exp.arm_b.key == restored.key:
+                exp.arm_b = restored
+        # The restored generation gets a clean slate: its canary verdicts
+        # must not inherit the convicted generation's divergences.
+        experiment.reset_arm_divergences(restored.format_name)
+        experiment.rollbacks += 1
+        self.stats.record_rollback()
+        event = {
+            "rolled_back": restored.key,
+            "generation": generation,
+            "dataset": restored.dataset,
+            "arm": restored.format_name,
+        }
+        self._rollback_events.append(event)
+        return event
 
     async def _predict(self, body: bytes) -> dict:
         offload = len(body) > _INLINE_BODY_BYTES
@@ -575,7 +734,8 @@ class InferenceServer:
             )
         else:
             patterns = self._quantize_inputs(model, payload)
-        predictions = await self._submit(model, patterns)
+        deadline = self._parse_deadline(payload, loop)
+        predictions = await self._submit(model, patterns, deadline)
         ab_info = None
         if experiment is not None:
             ab_info = {"arm": model.format_name, "canary": bool(canary)}

@@ -70,7 +70,11 @@ class ServeStats:
     batches: int = 0
     errors: int = 0
     rejected: int = 0  # backpressure: queue-full rejections
+    shed: int = 0  # load-shed refusals (503 + Retry-After)
+    deadline_expired: int = 0  # requests answered 504, never executed
     swaps: int = 0  # successful POST /swap model replacements
+    rollbacks: int = 0  # automatic canary rollbacks to last-known-good
+    batch_retries: int = 0  # poison-isolation single-request re-executions
     canary_checks: int = 0  # sampled A/B bit-identity comparisons
     canary_divergences: int = 0  # served != direct — a real serve bug
     batch_sizes: Counter = field(default_factory=Counter)
@@ -103,8 +107,21 @@ class ServeStats:
     def record_rejected(self) -> None:
         self.rejected += 1
 
+    def record_shed(self) -> None:
+        self.shed += 1
+
+    def record_deadline_expired(self) -> None:
+        self.deadline_expired += 1
+
     def record_swap(self) -> None:
         self.swaps += 1
+
+    def record_rollback(self) -> None:
+        self.rollbacks += 1
+
+    def record_batch_retry(self) -> None:
+        """One failed batch re-executed request-by-request (isolation)."""
+        self.batch_retries += 1
 
     def record_canary(self, diverged: bool) -> None:
         """One sampled canary comparison; ``diverged`` means served output
@@ -129,7 +146,11 @@ class ServeStats:
             "batches": self.batches,
             "errors": self.errors,
             "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
             "swaps": self.swaps,
+            "rollbacks": self.rollbacks,
+            "batch_retries": self.batch_retries,
             "canary": {
                 "checks": self.canary_checks,
                 "divergences": self.canary_divergences,
@@ -187,8 +208,23 @@ class ServeStats:
         counter("repro_serve_rejected_total",
                 "Requests rejected by backpressure (queue saturated).",
                 self.rejected)
+        counter("repro_serve_shed_total",
+                "Requests refused by load shedding (503 + Retry-After).",
+                self.shed)
+        counter("repro_serve_deadline_expired_total",
+                "Requests whose deadline expired in queue (504, never "
+                "executed).",
+                self.deadline_expired)
         counter("repro_serve_swaps_total",
                 "Model hot-swaps applied via POST /swap.", self.swaps)
+        counter("repro_serve_rollbacks_total",
+                "Automatic canary rollbacks to the last-known-good "
+                "generation.",
+                self.rollbacks)
+        counter("repro_serve_batch_retries_total",
+                "Failed micro-batches re-executed request-by-request "
+                "(poison isolation).",
+                self.batch_retries)
         counter("repro_serve_canary_checks_total",
                 "Sampled A/B canary bit-identity comparisons.",
                 self.canary_checks)

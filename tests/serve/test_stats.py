@@ -112,7 +112,11 @@ class TestSnapshot:
             "batches": 2,
             "errors": 1,
             "rejected": 1,
+            "shed": 0,
+            "deadline_expired": 0,
             "swaps": 1,
+            "rollbacks": 0,
+            "batch_retries": 0,
             "canary": {"checks": 2, "divergences": 1},
             "mean_batch_size": 3.0,
             "batch_size_histogram": {"2": 1, "4": 1},
@@ -157,9 +161,21 @@ repro_serve_errors_total 0
 # HELP repro_serve_rejected_total Requests rejected by backpressure (queue saturated).
 # TYPE repro_serve_rejected_total counter
 repro_serve_rejected_total 1
+# HELP repro_serve_shed_total Requests refused by load shedding (503 + Retry-After).
+# TYPE repro_serve_shed_total counter
+repro_serve_shed_total 0
+# HELP repro_serve_deadline_expired_total Requests whose deadline expired in queue (504, never executed).
+# TYPE repro_serve_deadline_expired_total counter
+repro_serve_deadline_expired_total 0
 # HELP repro_serve_swaps_total Model hot-swaps applied via POST /swap.
 # TYPE repro_serve_swaps_total counter
 repro_serve_swaps_total 1
+# HELP repro_serve_rollbacks_total Automatic canary rollbacks to the last-known-good generation.
+# TYPE repro_serve_rollbacks_total counter
+repro_serve_rollbacks_total 0
+# HELP repro_serve_batch_retries_total Failed micro-batches re-executed request-by-request (poison isolation).
+# TYPE repro_serve_batch_retries_total counter
+repro_serve_batch_retries_total 0
 # HELP repro_serve_canary_checks_total Sampled A/B canary bit-identity comparisons.
 # TYPE repro_serve_canary_checks_total counter
 repro_serve_canary_checks_total 2

@@ -319,8 +319,11 @@ class TestCanaryCatchesServeBugs:
             batcher = server.batcher_for(arm_a)
 
             class LyingNetwork:
+                # Off by one class on every row: guaranteed to diverge
+                # from the direct recompute regardless of the input draw.
                 def predict_patterns(self, patterns):
-                    return np.full(patterns.shape[0], 2, dtype=np.int64) - 2
+                    real = arm_a.network.predict_patterns(patterns)
+                    return (np.asarray(real) + 1) % 3
 
             batcher.model = SimpleNamespace(
                 key=arm_a.key, network=LyingNetwork()
@@ -333,9 +336,6 @@ class TestCanaryCatchesServeBugs:
 
         checks, divergences = asyncio.run(scenario())
         assert checks == 1
-        # The toy model predicts a nonzero class somewhere on random
-        # inputs with overwhelming probability; the lying all-zeros
-        # network therefore diverges from the direct recompute.
         assert divergences == 1
 
     def test_swap_updates_ab_arms_so_canary_stays_green(self, rng):
