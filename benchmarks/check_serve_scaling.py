@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Guard the worker-pool scaling record (``BENCH_serve_scaling.json``).
+
+Fails the slow CI job when multi-process serving stops paying for
+itself: the best multi-worker run must clear ``--min-speedup`` (default
+2.0x, the PR 9 acceptance floor: >= 4 workers at twice the single-worker
+throughput) without buying it with latency (p99 within
+``--p99-slack`` of the single-worker p99), and no run may report a
+single bit-identity mismatch or client error.  A record that says
+``skipped`` (single-core host) passes vacuously.
+
+Usage::
+
+    python benchmarks/check_serve_scaling.py BENCH_serve_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+MIN_SPEEDUP = 2.0
+MIN_BEST_WORKERS = 4
+P99_SLACK = 2.0  # multi-worker p99 may be at most this multiple of base
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="BENCH_serve_scaling.json path")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
+    parser.add_argument("--p99-slack", type=float, default=P99_SLACK)
+    args = parser.parse_args(argv)
+
+    with open(args.record) as fh:
+        record = json.load(fh)
+
+    if record.get("skipped"):
+        print(f"serve scaling: SKIP ({record['skipped']})")
+        return 0
+
+    failures = []
+    runs = record.get("runs", [])
+    if not runs:
+        failures.append("record has no runs")
+    for run in runs:
+        if run.get("mismatches", 0):
+            failures.append(
+                f"workers={run['workers']}: {run['mismatches']} responses "
+                "diverged from direct predict — scaling may never change bits"
+            )
+        if run.get("client_errors", 0):
+            failures.append(
+                f"workers={run['workers']}: {run['client_errors']} client "
+                "errors under steady load"
+            )
+
+    base = next((r for r in runs if r.get("workers") == 1), None)
+    multi = [r for r in runs if r.get("workers", 0) >= MIN_BEST_WORKERS]
+    cores = record.get("cpu_count", 0)
+    if base is None:
+        failures.append("no workers=1 baseline run in record")
+    elif cores < MIN_BEST_WORKERS or not multi:
+        # Not enough cores to host a 4-worker pool honestly; report the
+        # shape but only enforce bit-identity above.
+        print(
+            f"serve scaling: {len(runs)} runs on {cores} cores — "
+            f"speedup floor needs >= {MIN_BEST_WORKERS} cores, not enforced"
+        )
+    else:
+        best = max(multi, key=lambda r: r["throughput_rps"])
+        speedup = best["throughput_rps"] / base["throughput_rps"]
+        p99_limit = base["p99_ms"] * args.p99_slack
+        print(
+            f"serve scaling: {speedup:.2f}x at {best['workers']} workers "
+            f"({best['throughput_rps']} vs {base['throughput_rps']} req/s), "
+            f"p99 {best['p99_ms']}ms vs base {base['p99_ms']}ms"
+        )
+        if speedup < args.min_speedup:
+            failures.append(
+                f"speedup {speedup:.2f}x at {best['workers']} workers is "
+                f"below the {args.min_speedup:.1f}x floor"
+            )
+        if best["p99_ms"] > p99_limit:
+            failures.append(
+                f"p99 {best['p99_ms']}ms at {best['workers']} workers "
+                f"exceeds {args.p99_slack:.1f}x the single-worker "
+                f"p99 ({base['p99_ms']}ms) — throughput bought with latency"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve scaling: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -379,6 +379,19 @@ def _serve(args: list[str]) -> int:
         help="canary divergences on an A/B arm before it is automatically "
              "rolled back to the last-known-good generation (0 = never)",
     )
+    parser.add_argument(
+        "--workers-procs", type=int, default=0, metavar="N",
+        help="fork N serving processes sharing the port (0 = single "
+             "process, the default); control ops fan out to all workers "
+             "and SIGHUP triggers a rolling restart",
+    )
+    parser.add_argument(
+        "--pool-mode", choices=("reuseport", "router"), default="reuseport",
+        help="multi-process distribution: 'reuseport' shards the listen "
+             "socket across workers via SO_REUSEPORT; 'router' proxies "
+             "each request to a worker chosen by (dataset, format) so "
+             "every model's micro-batcher stays hot in one worker",
+    )
     ns = parser.parse_args(args)
 
     warmups = []
@@ -399,23 +412,37 @@ def _serve(args: list[str]) -> int:
             return 2
         ab_experiments.append(tuple(parts))
 
-    from .serve import serve_forever
+    from .serve import run_pool_forever, serve_forever
 
+    server_kwargs = dict(
+        max_batch=ns.max_batch,
+        max_delay_ms=ns.max_delay_ms,
+        queue_limit=ns.queue_limit,
+        executor_workers=ns.workers,
+        adaptive_delay=not ns.no_adaptive_delay,
+        canary_every=ns.canary_every,
+        shed_threshold=ns.shed_threshold,
+        rollback_after=ns.rollback_after,
+    )
     try:
-        asyncio.run(serve_forever(
-            warmups=warmups,
-            ab_experiments=ab_experiments,
-            host=ns.host,
-            port=ns.port,
-            max_batch=ns.max_batch,
-            max_delay_ms=ns.max_delay_ms,
-            queue_limit=ns.queue_limit,
-            executor_workers=ns.workers,
-            adaptive_delay=not ns.no_adaptive_delay,
-            canary_every=ns.canary_every,
-            shed_threshold=ns.shed_threshold,
-            rollback_after=ns.rollback_after,
-        ))
+        if ns.workers_procs > 0:
+            asyncio.run(run_pool_forever(
+                host=ns.host,
+                port=ns.port,
+                workers=ns.workers_procs,
+                mode=ns.pool_mode,
+                warmups=tuple(warmups),
+                ab_experiments=tuple(ab_experiments),
+                server_kwargs=server_kwargs,
+            ))
+        else:
+            asyncio.run(serve_forever(
+                warmups=warmups,
+                ab_experiments=ab_experiments,
+                host=ns.host,
+                port=ns.port,
+                **server_kwargs,
+            ))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     except (KeyError, ValueError, OSError) as exc:

@@ -19,6 +19,8 @@ Injection points currently registered across the codebase:
 ``client.connect``  a :class:`~repro.serve.client.ServeClient` connect
 ``client.send``     one client request write
 ``client.recv``     one client response read
+``pool.worker``     a serve-pool worker process (start/ready/batch/drain)
+``pool.route``      one pool manager→worker control or routing hop
 ==================  =====================================================
 
 Actions: ``kill`` (``os._exit`` — a hard process death), ``raise`` (an

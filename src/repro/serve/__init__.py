@@ -20,13 +20,17 @@ from .batcher import (
     ServiceClosed,
 )
 from .client import ServeClient, ServeError
+from .pool import PoolHandle, WorkerPool, run_pool_forever, start_pool_in_thread
 from .registry import ModelRegistry, ServedModel, build_served_model
+from .scheduler import SchedulerPolicy, ThreadBatcher
 from .server import InferenceServer, ServerHandle, serve_forever, start_in_thread
-from .stats import ServeStats, percentile
+from .stats import ServeStats, merge_states, percentile
 
 __all__ = [
     "ABExperiment",
     "MicroBatcher",
+    "SchedulerPolicy",
+    "ThreadBatcher",
     "ServiceClosed",
     "QueueSaturated",
     "DeadlineExceeded",
@@ -39,6 +43,11 @@ __all__ = [
     "ServerHandle",
     "serve_forever",
     "start_in_thread",
+    "WorkerPool",
+    "PoolHandle",
+    "start_pool_in_thread",
+    "run_pool_forever",
     "ServeStats",
+    "merge_states",
     "percentile",
 ]

@@ -1,4 +1,4 @@
-"""Micro-batching scheduler: coalesce concurrent requests into one GEMM.
+"""Micro-batching scheduler, asyncio binding: coalesce requests into one GEMM.
 
 The compiled layer kernels (:mod:`repro.formats.kernels`) amortize to one
 float64 GEMM per layer *per batch* — a batch-1 request pays the whole
@@ -30,6 +30,13 @@ concurrent single requests into kernel-sized batches:
   stays bit-identical to direct ``predict`` because the fused plan is
   bit-identical to the per-layer kernels.
 
+Every scheduling *decision* — effective delay, shed threshold, deadline
+expiry, slice caps, poison isolation — lives in
+:class:`~repro.serve.scheduler.SchedulerPolicy` and the shared helpers in
+:mod:`repro.serve.scheduler`, which also provides the loop-free
+:class:`~repro.serve.scheduler.ThreadBatcher` binding used by the
+process-pool worker tier.  This module is only the asyncio plumbing.
+
 **Bit-exactness.** Coalescing cannot change any answer: quantization is
 elementwise (stacking quantized requests equals quantizing the stacked
 batch), every kernel partial sum is an exact integer in float64 so the GEMM
@@ -42,14 +49,22 @@ in ``tests/serve/``.
 from __future__ import annotations
 
 import asyncio
-import math
 from concurrent.futures import Executor
-from dataclasses import dataclass
 
 import numpy as np
 
-from .. import faults
 from .registry import ServedModel
+from .scheduler import (
+    _CLOSE,
+    POINT_BATCH,
+    DeadlineExceeded,
+    PendingRequest,
+    QueueSaturated,
+    SchedulerPolicy,
+    ServiceClosed,
+    predict_in_slices,
+    stack_batch,
+)
 from .stats import ServeStats
 
 __all__ = [
@@ -57,49 +72,12 @@ __all__ = [
     "ServiceClosed",
     "QueueSaturated",
     "DeadlineExceeded",
+    "POINT_BATCH",
 ]
 
-#: Fires once per micro-batch execution, on the executor thread, before
-#: any kernel work; context is ``model=<key> rows=<n>``.  ``raise`` here
-#: exercises the poison-isolation retry, ``stall`` simulates a slow
-#: kernel (for deadline/shed scenarios).
-POINT_BATCH = faults.register_point(
-    "serve.batch", "one micro-batch execution on an executor thread"
-)
-
-
-class ServiceClosed(RuntimeError):
-    """Raised by ``submit`` once the batcher has begun shutting down."""
-
-
-class QueueSaturated(RuntimeError):
-    """Raised by ``submit`` when load shedding is on and the queue is at
-    or past the shed threshold — the HTTP layer answers 503 +
-    ``Retry-After`` instead of letting the request wait."""
-
-
-class DeadlineExceeded(RuntimeError):
-    """A request's deadline expired while it waited in the queue; it was
-    answered 504 and its rows were never executed."""
-
-
-@dataclass
-class _Pending:
-    """One enqueued request: quantized patterns plus its result future."""
-
-    patterns: np.ndarray  # (rows, in) uint32
-    rows: int
-    future: asyncio.Future
-    enqueued: float  # loop time, for queue+execute latency
-    deadline: float | None = None  # absolute loop time; None = no deadline
-
-
-_CLOSE = object()  # queue sentinel; FIFO order makes it drain-then-exit
-
-#: EWMA smoothing factor for the inter-arrival gap estimator: ~the last
-#: dozen arrivals dominate, so the effective delay tracks load shifts
-#: within a few requests without chasing single-gap noise.
-_EWMA_ALPHA = 0.25
+#: Back-compat alias — the pending-request record now lives in
+#: :mod:`repro.serve.scheduler`, shared by both transport bindings.
+_Pending = PendingRequest
 
 
 class MicroBatcher:
@@ -118,36 +96,67 @@ class MicroBatcher:
         adaptive_delay: bool = True,
         shed_threshold: float | None = None,
     ):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_delay_ms < 0:
-            raise ValueError("max_delay_ms must be >= 0")
-        if shed_threshold is not None and not 0.0 < shed_threshold <= 1.0:
-            raise ValueError("shed_threshold must be in (0, 1]")
+        self.policy = SchedulerPolicy(
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            queue_limit=queue_limit,
+            adaptive_delay=adaptive_delay,
+            shed_threshold=shed_threshold,
+        )
         self.model = model
-        self.max_batch = int(max_batch)
-        self.max_delay = float(max_delay_ms) / 1000.0
-        self.adaptive_delay = bool(adaptive_delay)
         self.stats = stats if stats is not None else ServeStats()
         self.generation = 1  # bumped by swap_model (observability only)
-        self.queue_limit = int(queue_limit)
-        # Load shedding is opt-in: None keeps the original backpressure
-        # behavior (full queue = submitters wait).  With a threshold f,
-        # submits are refused outright once qsize reaches
-        # ceil(f * queue_limit), so the server can answer 503 fast
-        # instead of stacking latency onto an already-saturated queue.
-        self.shed_threshold = shed_threshold
-        self._shed_at = (
-            None
-            if shed_threshold is None
-            else max(1, math.ceil(shed_threshold * queue_limit))
-        )
         self._executor = executor
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self._task: asyncio.Task | None = None
         self._closing = False
-        self._arrival_gap_s: float | None = None  # EWMA inter-arrival gap
-        self._last_arrival_s: float | None = None
+
+    # -- policy mirrors (the knobs and estimator live on the policy) ------
+    @property
+    def max_batch(self) -> int:
+        return self.policy.max_batch
+
+    @property
+    def max_delay(self) -> float:
+        return self.policy.max_delay
+
+    @property
+    def queue_limit(self) -> int:
+        return self.policy.queue_limit
+
+    @property
+    def adaptive_delay(self) -> bool:
+        return self.policy.adaptive_delay
+
+    @property
+    def shed_threshold(self) -> float | None:
+        return self.policy.shed_threshold
+
+    @property
+    def _shed_at(self) -> int | None:
+        return self.policy.shed_at
+
+    @property
+    def _arrival_gap_s(self) -> float | None:
+        return self.policy._arrival_gap_s
+
+    @_arrival_gap_s.setter
+    def _arrival_gap_s(self, value: float | None) -> None:
+        self.policy._arrival_gap_s = value
+
+    def _observe_arrival(self, now: float) -> None:
+        self.policy.observe_arrival(now)
+
+    @property
+    def effective_delay(self) -> float:
+        """The coalescing window (seconds) the next batch will wait —
+        see :meth:`repro.serve.scheduler.SchedulerPolicy.effective_delay`."""
+        return self.policy.effective_delay
+
+    @property
+    def effective_delay_ms(self) -> float:
+        """``effective_delay`` in milliseconds (for ``/models``/metrics)."""
+        return self.policy.effective_delay * 1000.0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -170,21 +179,19 @@ class MicroBatcher:
         """
         if self._closing:
             raise ServiceClosed(f"batcher for {self.model.key} is shut down")
-        if self._shed_at is not None and self._queue.qsize() >= self._shed_at:
+        if self.policy.should_shed(self._queue.qsize()):
             self.stats.record_shed()
             raise QueueSaturated(
                 f"queue for {self.model.key} is saturated "
                 f"({self._queue.qsize()}/{self.queue_limit}); shedding load"
             )
-        patterns = np.asarray(patterns, dtype=np.uint32)
-        if patterns.ndim != 2:
-            raise ValueError("patterns must be 2-D (rows, features)")
+        patterns = self.policy.validate_patterns(patterns)
         loop = asyncio.get_running_loop()
         self.start()
         now = loop.time()
-        self._observe_arrival(now)
-        item = _Pending(patterns, patterns.shape[0], loop.create_future(),
-                        now, deadline)
+        self.policy.observe_arrival(now)
+        item = PendingRequest(patterns, patterns.shape[0],
+                              loop.create_future(), now, deadline)
         await self._queue.put(item)
         return await item.future
 
@@ -229,59 +236,12 @@ class MicroBatcher:
     @property
     def shedding(self) -> bool:
         """Whether a submit arriving now would be shed (503)."""
-        return (
-            self._shed_at is not None
-            and self._queue.qsize() >= self._shed_at
-        )
+        return self.policy.should_shed(self._queue.qsize())
 
     @property
     def saturated(self) -> bool:
         """Whether the queue is at its hard limit (submitters wait)."""
-        return self._queue.qsize() >= self.queue_limit
-
-    # -- adaptive coalescing delay --------------------------------------
-    def _observe_arrival(self, now: float) -> None:
-        if self._last_arrival_s is not None:
-            gap = max(0.0, now - self._last_arrival_s)
-            if self._arrival_gap_s is None:
-                self._arrival_gap_s = gap
-            else:
-                self._arrival_gap_s += _EWMA_ALPHA * (
-                    gap - self._arrival_gap_s
-                )
-        self._last_arrival_s = now
-
-    @property
-    def effective_delay(self) -> float:
-        """The coalescing window (seconds) the next batch will wait.
-
-        * no estimate yet (cold start) or adaptation disabled: the full
-          ``max_delay`` — the conservative fixed-window behavior;
-        * dense traffic (EWMA gap below the window): wait the expected
-          time to *fill* the batch, ``gap * (max_batch - 1)``, capped at
-          ``max_delay`` — a saturating burst closes the batch by count
-          long before any deadline;
-        * sparse traffic (EWMA gap beyond the window): batchmates are
-          unlikely inside the window, so the wait decays as
-          ``max_delay * (max_delay / gap)`` toward an immediate flush.
-
-        Continuous at ``gap == max_delay`` and always in
-        ``[0, max_delay]``.  This is pure scheduling — it can change when
-        a batch executes, never what it computes.
-        """
-        if not self.adaptive_delay or self._arrival_gap_s is None:
-            return self.max_delay
-        gap = self._arrival_gap_s
-        if gap >= self.max_delay:
-            if gap <= 0.0:  # max_delay == 0 and no observed spacing
-                return 0.0
-            return self.max_delay * (self.max_delay / gap)
-        return min(self.max_delay, gap * (self.max_batch - 1))
-
-    @property
-    def effective_delay_ms(self) -> float:
-        """``effective_delay`` in milliseconds (for ``/models``/metrics)."""
-        return self.effective_delay * 1000.0
+        return self._queue.qsize() >= self.policy.queue_limit
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -293,7 +253,7 @@ class MicroBatcher:
             batch = [item]
             rows = item.rows
             saw_close = False
-            deadline = loop.time() + self.effective_delay
+            deadline = loop.time() + self.policy.effective_delay
             while rows < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
@@ -327,66 +287,30 @@ class MicroBatcher:
             if saw_close:
                 return
 
-    def _predict_stack(self, network, stacked: np.ndarray):
-        """Kernel-side body (executor thread): predict a stacked matrix in
-        ``max_batch``-row slices.  The injection point fires here, inside
-        the error boundary, so an armed fault behaves exactly like a
-        kernel failure."""
-        faults.fire(POINT_BATCH, model=self.model.key,
-                    rows=int(stacked.shape[0]))
-        cap = self.max_batch
-        sizes, parts = [], []
-        for start in range(0, stacked.shape[0], cap):
-            chunk = stacked[start:start + cap]
-            parts.append(network.predict_patterns(chunk))
-            sizes.append(chunk.shape[0])
-        if not parts:
-            # Every coalesced request was zero-row: there is nothing
-            # to predict, and ``np.concatenate([])`` would raise and
-            # fail the whole batch.  Answer with an empty prediction
-            # array (each zero-row caller slices an empty view).
-            return np.zeros(0, dtype=np.int64), sizes
-        return np.concatenate(parts), sizes
-
-    def _expire_deadlines(self, batch: list[_Pending], loop) -> list[_Pending]:
-        """Fail expired requests with 504 material; return the live rest.
-
-        Expiry is judged once, at batch assembly: rows whose deadline has
-        already passed are answered without ever touching a kernel, and
-        live rows keep their place in the batch.
-        """
+    def _expire_deadlines(
+        self, batch: list[PendingRequest], loop
+    ) -> list[PendingRequest]:
+        """Fail expired requests with 504 material; return the live rest."""
         now = loop.time()
-        live = []
-        for item in batch:
-            if item.deadline is not None and now > item.deadline:
-                self.stats.record_deadline_expired()
-                exc = DeadlineExceeded(
-                    f"deadline expired after "
-                    f"{(now - item.enqueued) * 1000.0:.1f}ms in queue"
-                )
-                exc._repro_counted = True
-                if not item.future.done():
-                    item.future.set_exception(exc)
-            else:
-                live.append(item)
+        live, expired = self.policy.split_expired(batch, now)
+        for item in expired:
+            self.stats.record_deadline_expired()
+            if not item.future.done():
+                item.future.set_exception(self.policy.expiry_error(item, now))
         return live
 
-    async def _execute(self, batch: list[_Pending], loop) -> None:
+    async def _execute(self, batch: list[PendingRequest], loop) -> None:
         batch = self._expire_deadlines(batch, loop)
         if not batch:
             return
-        network = self.model.network
+        model = self.model  # read once per batch (swap atomicity)
 
         def run() -> tuple[np.ndarray, list[int]]:
             # Stacking lives inside the error boundary too: a width
             # mismatch between coalesced requests (or a MemoryError) must
             # resolve the futures, never kill the worker task.
-            stacked = (
-                batch[0].patterns
-                if len(batch) == 1
-                else np.vstack([item.patterns for item in batch])
-            )
-            return self._predict_stack(network, stacked)
+            return predict_in_slices(model, stack_batch(batch),
+                                     self.max_batch)
 
         try:
             predictions, sizes = await loop.run_in_executor(
@@ -409,14 +333,15 @@ class MicroBatcher:
             # composition cannot change any answer), the poison one
             # fails by itself.
             self.stats.record_batch_retry()
-            await self._execute_singly(batch, network, loop)
+            await self._execute_singly(batch, model, loop)
             return
         self._resolve(batch, predictions, sizes, loop)
 
-    async def _execute_singly(self, batch, network, loop) -> None:
+    async def _execute_singly(self, batch, model, loop) -> None:
         for item in batch:
             def run_one(item=item):
-                return self._predict_stack(network, item.patterns)
+                return predict_in_slices(model, item.patterns,
+                                         self.max_batch)
 
             try:
                 predictions, sizes = await loop.run_in_executor(

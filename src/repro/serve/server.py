@@ -13,8 +13,18 @@ JSON response, keeping the connection alive between requests.  Endpoints:
 ``GET  /stats``             counters, batch-size histogram, p50/p99 latency
 ``GET  /metrics``           the same counters in Prometheus text format
 ``POST /swap``              ``{"dataset", "format"}`` — hot-swap the model
+``POST /rollback``          ``{"dataset", "format"}`` — restore the previous
+                            generation (idempotent; no-op without one)
 ``POST /ab`` / ``GET /ab``  configure / inspect A/B serving experiments
 ==========================  =================================================
+
+When the server runs as a **pool worker** (``repro.serve.pool``) the
+control endpoints (swap/ab/rollback/stats/metrics) arriving on the shared
+public port are forwarded to the pool manager, which fans out / merges
+across all workers; the manager's own fan-out arrives on a loopback admin
+listener and is answered locally.  ``drain()`` implements the graceful
+half of a rolling restart: stop accepting, finish in-flight requests,
+report ``"draining"`` from ``/health``.
 
 One :class:`~repro.serve.batcher.MicroBatcher` per served model coalesces
 concurrent predict requests into stacked batches (see ``docs/serving.md``);
@@ -45,6 +55,14 @@ from .batcher import (
     QueueSaturated,
     ServiceClosed,
 )
+from .http import (
+    MAX_BODY_BYTES as _MAX_BODY_BYTES,
+    HttpError as _HttpError,
+    fetch,
+    read_request,
+    split_query,
+    write_response,
+)
 from .registry import ModelRegistry, ServedModel
 from .stats import ServeStats
 
@@ -61,33 +79,19 @@ POINT_CONNECTION = faults.register_point(
 #: micro-batch latencies is well under a second.
 _RETRY_AFTER_S = 1
 
-#: Reject request bodies larger than this (a predict batch of millions of
-#: rows should be sharded by the client, not buffered in one read).
-_MAX_BODY_BYTES = 32 * 1024 * 1024
-
 #: Bodies above this parse + quantize on the executor instead of the event
 #: loop, so one bulk request cannot stall health checks and coalescing
 #: deadlines for everyone else.  (Quantization is elementwise, so where it
 #: runs cannot change any served bit.)
 _INLINE_BODY_BYTES = 64 * 1024
 
-_STATUS_TEXT = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-
-class _HttpError(Exception):
-    """A handled request failure, rendered as a JSON error response."""
-
-    def __init__(self, status: int, message: str,
-                 headers: dict[str, str] | None = None):
-        super().__init__(message)
-        self.status = status
-        self.message = message
-        self.headers = headers or {}
+#: Control endpoints a pooled worker must not answer alone: hitting any
+#: of these on the *public* (shared) port reaches one arbitrary worker,
+#: so the worker forwards to the pool manager, which fans out / merges
+#: across every worker (see :mod:`repro.serve.pool`).  The manager's
+#: fan-out comes back on each worker's loopback admin listener, which is
+#: trusted as "local" and answered directly.
+_POOLED_FORWARD = {"/swap", "/ab", "/rollback", "/stats", "/metrics"}
 
 
 class InferenceServer:
@@ -108,6 +112,9 @@ class InferenceServer:
         canary_every: int = 8,
         shed_threshold: float | None = None,
         rollback_after: int = 1,
+        reuse_port: bool = False,
+        pool_manager_port: int | None = None,
+        pool_worker_index: int | None = None,
     ):
         # Fail at construction, not on the first request: these values are
         # otherwise only exercised when a batcher is built or a queue fills.
@@ -150,15 +157,80 @@ class InferenceServer:
         self._server: asyncio.base_events.Server | None = None
         self._closing = False
         self._started_at = time.monotonic()
+        # -- pool-worker wiring (all inert in single-process mode) -------
+        # SO_REUSEPORT lets N worker processes bind the same public port;
+        # the kernel spreads accepts across them (see repro.serve.pool).
+        self.reuse_port = bool(reuse_port)
+        # When pooled: the manager's loopback control port (forward
+        # target) and this worker's index (observability).
+        self.pool_manager_port = pool_manager_port
+        self.pool_worker_index = pool_worker_index
+        # The loopback admin listener (pooled workers only): the
+        # manager's private door for control fan-out and stats scrapes.
+        self._admin_server: asyncio.base_events.Server | None = None
+        self.admin_port: int | None = None
+        # -- graceful drain ----------------------------------------------
+        self._draining = False
+        self._active_requests = 0  # requests currently in dispatch
+        self._conn_writers: set = set()  # open public connections
+        self._control_tasks: set = set()  # in-flight pool notifications
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections (``port=0`` picks a free
-        port; ``self.port`` is updated to the bound one)."""
+        port; ``self.port`` is updated to the bound one).
+
+        With ``reuse_port`` the public socket binds ``SO_REUSEPORT`` so
+        sibling worker processes can share the port; a pooled worker
+        (``pool_manager_port`` set) additionally opens a loopback admin
+        listener on an ephemeral port — the manager's private address for
+        this worker, exempt from forwarding and from drain's
+        stop-accepting (the manager must still reach a draining worker).
+        """
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port,
+            reuse_port=self.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.pool_manager_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._handle_admin_connection, "127.0.0.1", 0
+            )
+            self.admin_port = (
+                self._admin_server.sockets[0].getsockname()[1]
+            )
+
+    async def drain(self, grace_s: float = 5.0) -> None:
+        """Graceful shutdown, phase one: stop accepting, finish in-flight.
+
+        * ``/health`` flips to ``"draining"`` immediately;
+        * the public listener closes (new connections go to siblings —
+          under SO_REUSEPORT the kernel only picks among live listeners);
+        * requests already being dispatched complete and are answered;
+        * keep-alive connections are told ``Connection: close`` on their
+          next response, and idle ones are closed once in-flight work is
+          done (or ``grace_s`` expires).
+
+        The admin listener stays up so the manager can watch the drain.
+        Call :meth:`close` afterwards for phase two (batcher + executor
+        teardown).  No request is ever executed twice: a request either
+        got its response before the connection closed, or was never
+        dispatched at all.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + grace_s
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        # Whatever is left holding a connection open is idle keep-alive
+        # (or past its grace): close the transports so handlers exit.
+        for writer in list(self._conn_writers):
+            writer.close()
 
     async def close(self) -> None:
         """Stop accepting, drain every batcher queue, release the executor.
@@ -174,6 +246,9 @@ class InferenceServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
         if self._batchers:
             await asyncio.gather(
                 *(b.close() for b in self._batchers.values())
@@ -208,7 +283,14 @@ class InferenceServer:
         return batcher
 
     # -- HTTP plumbing --------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
+    async def _handle_admin_connection(self, reader, writer) -> None:
+        """The loopback admin listener: same handler, trusted as local."""
+        await self._handle_connection(reader, writer, local=True)
+
+    async def _handle_connection(self, reader, writer,
+                                 local: bool = False) -> None:
+        if not local:
+            self._conn_writers.add(writer)
         try:
             while True:
                 try:
@@ -223,10 +305,16 @@ class InferenceServer:
                 method, path, headers, body = request
                 faults.fire(POINT_CONNECTION, path=path)
                 close_conn = headers.get("connection", "").lower() == "close"
+                if self._draining and not local:
+                    # Answer this request, then shut the connection so the
+                    # client reconnects to a live worker.
+                    close_conn = True
                 content_type = "application/json"
                 extra_headers: dict[str, str] = {}
+                self._active_requests += 1
                 try:
-                    result = await self._dispatch(method, path, body)
+                    result = await self._dispatch(method, path, body,
+                                                  local=local)
                     status, payload = result[0], result[1]
                     if len(result) > 2:  # /metrics returns its own type
                         content_type = result[2]
@@ -255,6 +343,8 @@ class InferenceServer:
                     if not getattr(exc, "_repro_counted", False):
                         self.stats.record_error()
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                finally:
+                    self._active_requests -= 1
                 await self._write_response(
                     writer, status, payload, close_conn, content_type,
                     extra_headers,
@@ -266,83 +356,63 @@ class InferenceServer:
             # are normal churn, not server errors.
             pass
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    @staticmethod
-    async def _read_request(reader):
-        # One read for the whole head (request line + headers): requests
-        # are small, and a single ``readuntil`` keeps the per-request event
-        # loop work minimal on the hot path.
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean EOF between keep-alive requests
-            raise
-        except asyncio.LimitOverrunError:
-            raise _HttpError(400, "header block too large") from None
-        lines = head.decode("latin-1").split("\r\n")
-        try:
-            method, path, _version = lines[0].split()
-        except ValueError:
-            raise _HttpError(400, "malformed request line") from None
-        headers: dict[str, str] = {}
-        for raw in lines[1:]:
-            if raw:
-                name, _, value = raw.partition(":")
-                headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise _HttpError(400, "malformed Content-Length") from None
-        if length < 0:
-            raise _HttpError(400, "malformed Content-Length")
-        if length > _MAX_BODY_BYTES:
-            raise _HttpError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, headers, body
-
-    @staticmethod
-    async def _write_response(
-        writer, status, payload, close_conn,
-        content_type: str = "application/json",
-        extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        # ``payload`` may arrive pre-encoded (bulk predict responses are
-        # serialized on the executor to keep the event loop responsive;
-        # /metrics renders Prometheus text).
-        body = (
-            payload
-            if isinstance(payload, bytes)
-            else json.dumps(payload).encode("utf-8")
-        )
-        extras = "".join(
-            f"{name}: {value}\r\n"
-            for name, value in (extra_headers or {}).items()
-        )
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close_conn else 'keep-alive'}\r\n"
-            f"{extras}"
-            "\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
+    # The HTTP parser/renderer is shared with the pool control plane
+    # (``repro.serve.http``); these staticmethod hooks keep the handler
+    # code and the test surface unchanged.
+    _read_request = staticmethod(read_request)
+    _write_response = staticmethod(write_response)
 
     # -- routing --------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes):
-        path = path.split("?", 1)[0]
+    async def _forward_to_manager(self, method: str, path: str, body: bytes):
+        """Proxy one control request to the pool manager (pooled workers).
+
+        Control traffic that lands on the shared public port reaches one
+        arbitrary worker; answering locally would desynchronize the pool
+        (a swap applied to 1 of N registries) or under-report (one
+        worker's counters).  The manager fans out / merges and its
+        response is passed through verbatim, status and all.
+        """
+        try:
+            status, data = await fetch(
+                "127.0.0.1", self.pool_manager_port, method, path, body,
+                timeout_s=60.0,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise _HttpError(
+                502, f"pool manager unreachable: {type(exc).__name__}"
+            ) from None
+        content_type = (
+            "text/plain; version=0.0.4; charset=utf-8"
+            if path == "/metrics"
+            else "application/json"
+        )
+        return status, data, content_type
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        local: bool = False):
+        path, _query = split_query(path)
+        if (
+            self.pool_manager_port is not None
+            and not local
+            and path in _POOLED_FORWARD
+        ):
+            return await self._forward_to_manager(method, path, body)
         if path == "/health":
             self._require(method, "GET")
             return 200, self._health()
         if path == "/stats":
             self._require(method, "GET")
+            if local and self.pool_manager_port is not None:
+                # The manager's scrape: raw mergeable state, not the
+                # rounded snapshot (percentiles cannot be averaged).
+                return 200, self._export_worker_state()
             return 200, self.stats.snapshot()
         if path == "/metrics":
             self._require(method, "GET")
@@ -361,6 +431,9 @@ class InferenceServer:
                 text.encode("utf-8"),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        if path == "/rollback":
+            self._require(method, "POST")
+            return 200, await self._rollback_endpoint(self._json_body(body))
         if path == "/models":
             self._require(method, "GET")
             return 200, {
@@ -425,12 +498,40 @@ class InferenceServer:
             degraded["shedding"] = shedding
         if self.stats.rollbacks:
             degraded["rollbacks"] = self.stats.rollbacks
-        return {
-            "status": "degraded" if degraded else "ok",
+        if self._draining:
+            status = "draining"  # alive, finishing in-flight, not accepting
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        health = {
+            "status": status,
             "models_loaded": len(self.registry.loaded()),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "shed_mode": self.shed_threshold is not None,
             "degraded": degraded,
+        }
+        if self.pool_worker_index is not None:
+            health["worker"] = self.pool_worker_index
+            health["draining"] = self._draining
+        return health
+
+    def _export_worker_state(self) -> dict:
+        """The admin ``/stats`` body: everything the manager needs to
+        merge this worker into the pooled view."""
+        return {
+            "worker": self.pool_worker_index,
+            "draining": self._draining,
+            "state": self.stats.export_state(),
+            "queue_depths": {
+                key: batcher.pending
+                for key, batcher in self._batchers.items()
+            },
+            "effective_delay_ms": {
+                key: round(batcher.effective_delay_ms, 6)
+                for key, batcher in self._batchers.items()
+            },
+            "models_loaded": len(self.registry.loaded()),
         }
 
     @staticmethod
@@ -679,13 +780,44 @@ class InferenceServer:
     ) -> dict | None:
         """Swap one A/B arm back to its last-known-good generation.
 
+        In a worker pool the rollback also fans out: siblings are serving
+        the same convicted generation (swaps are broadcast), so the
+        manager is told to roll every worker back — each sibling's own
+        rollback is idempotent (no previous generation left = no-op).
+        """
+        return await self._apply_rollback(
+            bad.dataset, bad.format_name, notify_pool=True
+        )
+
+    async def _rollback_endpoint(self, payload: dict) -> dict:
+        """``POST /rollback``: restore the previous generation of one
+        model — the manual counterpart of the automatic canary rollback,
+        and the fan-out target the pool manager broadcasts to.  Idempotent:
+        with no stashed previous generation it reports a no-op."""
+        dataset = payload.get("dataset")
+        format_name = payload.get("format")
+        if not isinstance(dataset, str) or not isinstance(format_name, str):
+            raise _HttpError(400, "need string fields 'dataset' and 'format'")
+        event = await self._apply_rollback(dataset, format_name)
+        if event is None:
+            return {
+                "rolled_back": None,
+                "reason": "no previous generation",
+            }
+        return event
+
+    async def _apply_rollback(
+        self, dataset: str, format_name: str, notify_pool: bool = False
+    ) -> dict | None:
+        """Restore one model's last-known-good generation locally.
+
         Runs under the registry's per-key lock (inside ``rollback``); the
         live batcher flips to the restored network between batches, every
         experiment arm pointing at the key follows, and the event lands
         in stats (``/metrics``), ``/health``, and the ``/ab`` report.
         Returns ``None`` when no previous generation exists to restore.
         """
-        restored = await self.registry.rollback(bad.dataset, bad.format_name)
+        restored = await self.registry.rollback(dataset, format_name)
         if restored is None:
             return None
         batcher = self._batchers.get(restored.key)
@@ -697,10 +829,12 @@ class InferenceServer:
                 exp.arm_a = restored
             if exp.arm_b.key == restored.key:
                 exp.arm_b = restored
-        # The restored generation gets a clean slate: its canary verdicts
-        # must not inherit the convicted generation's divergences.
-        experiment.reset_arm_divergences(restored.format_name)
-        experiment.rollbacks += 1
+            if restored.key in (exp.arm_a.key, exp.arm_b.key):
+                # The restored generation gets a clean slate: its canary
+                # verdicts must not inherit the convicted generation's
+                # divergences.
+                exp.reset_arm_divergences(restored.format_name)
+                exp.rollbacks += 1
         self.stats.record_rollback()
         event = {
             "rolled_back": restored.key,
@@ -709,7 +843,29 @@ class InferenceServer:
             "arm": restored.format_name,
         }
         self._rollback_events.append(event)
+        if notify_pool and self.pool_manager_port is not None:
+            self._notify_pool_rollback(restored.dataset, restored.format_name)
         return event
+
+    def _notify_pool_rollback(self, dataset: str, format_name: str) -> None:
+        """Tell the manager to fan a canary rollback out to the siblings
+        (fire-and-forget: the local rollback already applied, and a dead
+        manager means a dying pool anyway)."""
+
+        async def notify() -> None:
+            try:
+                await fetch(
+                    "127.0.0.1", self.pool_manager_port, "POST",
+                    "/rollback",
+                    {"dataset": dataset, "format": format_name},
+                    timeout_s=30.0,
+                )
+            except (OSError, asyncio.TimeoutError):
+                pass
+
+        task = asyncio.get_running_loop().create_task(notify())
+        self._control_tasks.add(task)
+        task.add_done_callback(self._control_tasks.discard)
 
     async def _predict(self, body: bytes) -> dict:
         offload = len(body) > _INLINE_BODY_BYTES

@@ -20,7 +20,7 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["ServeStats", "percentile"]
+__all__ = ["ServeStats", "percentile", "merge_states"]
 
 #: Latency ring size: enough for stable p99 without unbounded growth.
 _LATENCY_WINDOW = 4096
@@ -168,6 +168,35 @@ class ServeStats:
             },
         }
 
+    def export_state(self) -> dict:
+        """The raw, lossless counter state (JSON-ready).
+
+        The pool manager aggregates ``/stats`` and ``/metrics`` across
+        worker processes; the rendered :meth:`snapshot` is lossy (rounded
+        percentiles cannot be merged), so workers export this instead and
+        the manager rebuilds a pooled :class:`ServeStats` via
+        :func:`merge_states` — pooled percentiles are then computed over
+        the concatenated windows, not averaged per worker.
+        """
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "batches": self.batches,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "swaps": self.swaps,
+            "rollbacks": self.rollbacks,
+            "batch_retries": self.batch_retries,
+            "canary_checks": self.canary_checks,
+            "canary_divergences": self.canary_divergences,
+            "batch_sizes": {str(k): v for k, v in self.batch_sizes.items()},
+            "per_model": dict(self.per_model),
+            "latencies_ms": list(self._latencies_ms),
+            "latency_sum_ms": self._latency_sum_ms,
+        }
+
     def render_prometheus(
         self,
         queue_depths: dict[str, int] | None = None,
@@ -290,3 +319,34 @@ class ServeStats:
                 effective_delay_ms,
             )
         return "\n".join(lines) + "\n"
+
+
+def merge_states(states: list[dict]) -> ServeStats:
+    """Rebuild one pooled :class:`ServeStats` from worker
+    :meth:`~ServeStats.export_state` dicts.
+
+    Scalars and histograms sum; the latency windows concatenate (clipped
+    to the ring size), so pooled p50/p99 are true percentiles over the
+    combined recent samples rather than an average of per-worker
+    percentiles — averaging quantiles is the classic aggregation bug this
+    function exists to avoid.
+    """
+    merged = ServeStats()
+    for state in states:
+        for name in (
+            "requests", "samples", "batches", "errors", "rejected", "shed",
+            "deadline_expired", "swaps", "rollbacks", "batch_retries",
+            "canary_checks", "canary_divergences",
+        ):
+            setattr(merged, name, getattr(merged, name) + int(
+                state.get(name, 0)
+            ))
+        for size, count in state.get("batch_sizes", {}).items():
+            merged.batch_sizes[int(size)] += int(count)
+        for model, count in state.get("per_model", {}).items():
+            merged.per_model[model] += int(count)
+        merged._latencies_ms.extend(state.get("latencies_ms", ()))
+        merged._latency_sum_ms += float(state.get("latency_sum_ms", 0.0))
+    if len(merged._latencies_ms) > _LATENCY_WINDOW:
+        merged._latencies_ms = merged._latencies_ms[-_LATENCY_WINDOW:]
+    return merged

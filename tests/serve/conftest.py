@@ -41,6 +41,27 @@ def loader():
     return tiny_loader
 
 
+@pytest.fixture(scope="module")
+def pool():
+    """A live 2-worker SO_REUSEPORT pool serving the toy loaders.
+
+    Module-scoped: spawning processes is the expensive part, and every
+    consumer only ever *reads* through the pool (predict/stats/swap) or
+    exercises restarts that leave it whole again.  Callers are expected
+    to be gated on multi-core hosts (see ``test_pool.py``).
+    """
+    from repro.serve import start_pool_in_thread
+
+    handle = start_pool_in_thread(
+        port=0, workers=2, mode="reuseport",
+        loader_spec="tests.serve.conftest:tiny_loader",
+        server_kwargs={"max_delay_ms": 1.0},
+        restart_backoff_s=0.1, seed=7,
+    )
+    yield handle
+    handle.stop()
+
+
 @pytest.fixture
 def toy_inputs(rng):
     """(rows, 4) float features for the ``toy`` dataset."""
